@@ -1,0 +1,60 @@
+"""Ext-3 benchmark — eclipse and partition attack susceptibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.attacks import build_report, run_eclipse, run_partition
+
+
+@pytest.fixture(scope="module")
+def eclipse_results(quick_config):
+    return run_eclipse(quick_config, adversary_fraction=0.15)
+
+
+@pytest.fixture(scope="module")
+def partition_results(quick_config):
+    return run_partition(quick_config)
+
+
+def test_bench_attacks(benchmark, quick_config, eclipse_results, partition_results):
+    """Time one eclipse evaluation and report both attack analyses."""
+
+    def eclipse_only():
+        return run_eclipse(
+            quick_config.with_overrides(seeds=quick_config.seeds[:1]),
+            adversary_fraction=0.15,
+            protocols=("bcbpt",),
+        )
+
+    benchmark.pedantic(eclipse_only, rounds=1, iterations=1)
+    print()
+    print(build_report(eclipse_results, partition_results).render())
+
+
+def test_eclipse_proximity_clustering_raises_exposure(eclipse_results):
+    """The paper's concern: an adversary that concentrates peers near the
+    victim captures a larger share of its connections under proximity
+    clustering than under random selection."""
+    by_name = {r.protocol: r for r in eclipse_results}
+    assert by_name["bcbpt"].eclipsed_fraction >= by_name["bitcoin"].eclipsed_fraction
+
+
+def test_eclipse_fractions_in_range(eclipse_results):
+    for result in eclipse_results:
+        assert 0.0 <= result.eclipsed_fraction <= 1.0
+        assert result.victim_connection_count > 0
+
+
+def test_partition_clustered_topologies_have_thinner_boundaries(partition_results):
+    """Isolating a cluster requires severing a smaller fraction of all links
+    than isolating a comparable region of the random topology."""
+    by_name = {r.protocol: r for r in partition_results}
+    assert by_name["bcbpt"].boundary_fraction <= by_name["bitcoin"].boundary_fraction
+
+
+def test_partition_reports_are_complete(partition_results):
+    for result in partition_results:
+        assert result.total_links > 0
+        assert result.target_group_size > 0
+        assert 0.0 < result.largest_component_fraction <= 1.0

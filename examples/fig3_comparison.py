@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Protocol comparison: regenerate the paper's Fig. 3 at a chosen scale.
+
+Runs the measuring-node campaign under the vanilla Bitcoin protocol, the LBC
+geographic clustering protocol and BCBPT (d_t = 25 ms) on identically seeded
+networks, then prints the delay summaries, the per-rank variance curve and
+whether the paper's ordering (BCBPT < LBC < Bitcoin) holds.
+
+Run with::
+
+    python examples/fig3_comparison.py --nodes 200 --runs 10 --seeds 3 11
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig3 import build_report, expected_ordering_holds, run_fig3
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=200)
+    parser.add_argument("--runs", type=int, default=10)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[3, 11])
+    parser.add_argument("--measuring-nodes", type=int, default=3)
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        node_count=args.nodes,
+        runs=args.runs,
+        seeds=tuple(args.seeds),
+        measuring_nodes=args.measuring_nodes,
+    )
+    print(
+        f"Comparing bitcoin / lbc / bcbpt on {args.nodes}-node networks, "
+        f"{len(args.seeds)} seed(s), {args.runs} runs per measuring node ..."
+    )
+    results = run_fig3(config)
+    print()
+    print(build_report(results).render())
+    print()
+    if expected_ordering_holds(results):
+        print("Paper ordering (BCBPT < LBC < Bitcoin in mean and variance): HOLDS")
+        return 0
+    print("Paper ordering (BCBPT < LBC < Bitcoin in mean and variance): DOES NOT HOLD")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

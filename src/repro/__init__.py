@@ -1,0 +1,23 @@
+"""repro: reproduction of the BCBPT proximity-aware Bitcoin clustering protocol.
+
+This package reproduces "Proximity Awareness Approach to Enhance Propagation
+Delay on the Bitcoin Peer-to-Peer Network" (Fadhil/Sallal, Owen, Adda —
+ICDCS 2017): a discrete-event Bitcoin P2P simulator, the BCBPT ping-latency
+clustering protocol, the LBC geographic baseline, the vanilla Bitcoin baseline,
+the paper's measuring-node methodology, and experiment drivers that regenerate
+its figures.
+
+Quickstart::
+
+    from repro.workloads import NetworkParameters, build_scenario
+    from repro.experiments import PropagationExperiment
+
+    scenario = build_scenario("bcbpt", NetworkParameters(node_count=150, seed=7),
+                              latency_threshold_s=0.025)
+    result = PropagationExperiment(scenario).run(repetitions=20)
+    print(result.delays.summary())
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,42 @@
+"""The paper's contribution: proximity-aware neighbour selection.
+
+Three neighbour-selection policies share one interface
+(:class:`~repro.core.policy.NeighbourPolicy`), so the identical protocol stack
+can be run under each — which is how the paper frames BCBPT, as an extension
+of the existing Bitcoin protocol rather than a replacement:
+
+* :class:`~repro.core.random_topology.RandomNeighbourPolicy` — vanilla Bitcoin:
+  each node picks outbound peers uniformly at random, "regardless of any
+  proximity criteria";
+* :class:`~repro.core.lbc.LbcPolicy` — the authors' earlier LBC protocol:
+  peers are grouped by physical geographic location;
+* :class:`~repro.core.bcbpt.BcbptPolicy` — BCBPT, this paper: peers are grouped
+  by measured round-trip ping latency under a threshold ``d_t`` (Eq. 1), using
+  the distance utility function of Eq. 2-4, with a few long-distance links per
+  node for inter-cluster visibility.
+"""
+
+from repro.core.bcbpt import BcbptConfig, BcbptPolicy
+from repro.core.cluster import Cluster, ClusterRegistry
+from repro.core.distance import DistanceCalculator, DistanceEstimate
+from repro.core.lbc import LbcConfig, LbcPolicy
+from repro.core.maintenance import ChurnMaintainer
+from repro.core.policy import NeighbourPolicy, PolicyStatistics, TopologyBuildReport
+from repro.core.random_topology import RandomNeighbourPolicy, RandomPolicyConfig
+
+__all__ = [
+    "BcbptConfig",
+    "BcbptPolicy",
+    "ChurnMaintainer",
+    "Cluster",
+    "ClusterRegistry",
+    "DistanceCalculator",
+    "DistanceEstimate",
+    "LbcConfig",
+    "LbcPolicy",
+    "NeighbourPolicy",
+    "PolicyStatistics",
+    "RandomNeighbourPolicy",
+    "RandomPolicyConfig",
+    "TopologyBuildReport",
+]

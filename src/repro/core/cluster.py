@@ -1,0 +1,165 @@
+"""Cluster data structures shared by the clustering policies.
+
+A *cluster* is a set of nodes that consider each other close (by ping latency
+under BCBPT, by geography under LBC) and are therefore densely connected among
+themselves.  The :class:`ClusterRegistry` tracks cluster membership globally —
+in the real protocol this knowledge is distributed, but the simulator keeps a
+registry so that experiments can ask questions like "how large did clusters
+get for threshold 30 ms" (the explanation the paper gives for Fig. 4) and the
+attack experiments can target a specific cluster.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class Cluster:
+    """One cluster of mutually-close nodes.
+
+    Attributes:
+        cluster_id: unique id assigned by the registry.
+        members: node ids currently in the cluster.
+        founder: node that started the cluster (the first node that could not
+            find an existing close cluster to join).
+        created_at: simulated time the cluster was created.
+    """
+
+    cluster_id: int
+    founder: int
+    created_at: float = 0.0
+    members: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.members.add(self.founder)
+
+    @property
+    def size(self) -> int:
+        """Number of member nodes."""
+        return len(self.members)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.members
+
+    def add(self, node_id: int) -> None:
+        """Add a member (idempotent)."""
+        self.members.add(node_id)
+
+    def remove(self, node_id: int) -> None:
+        """Remove a member if present."""
+        self.members.discard(node_id)
+
+    def member_list(self) -> list[int]:
+        """Members in sorted order (deterministic for messages and tests)."""
+        return sorted(self.members)
+
+
+class ClusterRegistry:
+    """Global bookkeeping of clusters and node membership."""
+
+    def __init__(self) -> None:
+        self._clusters: dict[int, Cluster] = {}
+        self._membership: dict[int, int] = {}
+        self._id_counter = itertools.count()
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    def clusters(self) -> Iterator[Cluster]:
+        """Iterate over all clusters."""
+        return iter(self._clusters.values())
+
+    def cluster(self, cluster_id: int) -> Cluster:
+        """Look up a cluster by id.
+
+        Raises:
+            KeyError: if the cluster does not exist.
+        """
+        return self._clusters[cluster_id]
+
+    def cluster_of(self, node_id: int) -> Optional[Cluster]:
+        """The cluster containing ``node_id``, or None."""
+        cluster_id = self._membership.get(node_id)
+        if cluster_id is None:
+            return None
+        return self._clusters[cluster_id]
+
+    def are_same_cluster(self, node_a: int, node_b: int) -> bool:
+        """Whether two nodes belong to the same cluster."""
+        cluster_a = self._membership.get(node_a)
+        return cluster_a is not None and cluster_a == self._membership.get(node_b)
+
+    def cluster_sizes(self) -> list[int]:
+        """Sizes of all clusters, descending."""
+        return sorted((c.size for c in self._clusters.values()), reverse=True)
+
+    def assigned_nodes(self) -> int:
+        """Number of nodes currently assigned to some cluster."""
+        return len(self._membership)
+
+    # -------------------------------------------------------------- mutation
+    def create_cluster(self, founder: int, *, created_at: float = 0.0) -> Cluster:
+        """Start a new cluster with ``founder`` as its first member.
+
+        The founder is removed from any previous cluster first.
+        """
+        self.remove_node(founder)
+        cluster = Cluster(
+            cluster_id=next(self._id_counter), founder=founder, created_at=created_at
+        )
+        self._clusters[cluster.cluster_id] = cluster
+        self._membership[founder] = cluster.cluster_id
+        return cluster
+
+    def assign(self, node_id: int, cluster_id: int) -> Cluster:
+        """Move a node into an existing cluster (a no-op if already a member).
+
+        Raises:
+            KeyError: if the cluster does not exist.
+        """
+        cluster = self._clusters[cluster_id]
+        if self._membership.get(node_id) == cluster_id:
+            return cluster
+        self.remove_node(node_id)
+        cluster.add(node_id)
+        self._membership[node_id] = cluster_id
+        return cluster
+
+    def remove_node(self, node_id: int) -> Optional[int]:
+        """Remove a node from its cluster (empty clusters are deleted).
+
+        Returns:
+            The id of the cluster it was removed from, or None.
+        """
+        cluster_id = self._membership.pop(node_id, None)
+        if cluster_id is None:
+            return None
+        cluster = self._clusters[cluster_id]
+        cluster.remove(node_id)
+        if cluster.size == 0:
+            del self._clusters[cluster_id]
+        return cluster_id
+
+    # ------------------------------------------------------------ statistics
+    def summary(self) -> dict[str, float]:
+        """Aggregate cluster statistics used by experiments and reports."""
+        sizes = self.cluster_sizes()
+        if not sizes:
+            return {
+                "cluster_count": 0,
+                "assigned_nodes": 0,
+                "mean_size": 0.0,
+                "max_size": 0,
+                "min_size": 0,
+            }
+        return {
+            "cluster_count": len(sizes),
+            "assigned_nodes": self.assigned_nodes(),
+            "mean_size": sum(sizes) / len(sizes),
+            "max_size": sizes[0],
+            "min_size": sizes[-1],
+        }

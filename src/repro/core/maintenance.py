@@ -1,0 +1,103 @@
+"""Cluster/topology maintenance under churn.
+
+Section IV.B: nodes periodically discover new peers (every 100 ms in the
+paper's setup), and "when the node N wants to leave the network, no further
+action is required" — the remaining nodes simply repair their connection
+quotas through the ordinary discovery mechanism.
+
+:class:`ChurnMaintainer` wires a :class:`~repro.net.churn.ChurnModel`, the
+:class:`~repro.protocol.network.P2PNetwork`, the DNS seed and a
+:class:`~repro.core.policy.NeighbourPolicy` together so that experiments with
+node churn keep a healthy overlay under any policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.policy import NeighbourPolicy
+from repro.net.churn import ChurnModel, SessionLengthModel
+from repro.protocol.discovery import DnsSeedService
+from repro.protocol.network import P2PNetwork
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+
+
+class ChurnMaintainer:
+    """Keeps the overlay healthy while nodes join and leave.
+
+    Args:
+        simulator: the event engine.
+        network: the P2P fabric.
+        policy: neighbour-selection policy used for repairs.
+        seed_service: DNS seed whose reachable-node set must track liveness.
+        session_model: session length / downtime sampler driving churn.
+        discovery_interval_s: period of the per-network discovery sweep that
+            tops up under-connected nodes (None disables the sweep).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: P2PNetwork,
+        policy: NeighbourPolicy,
+        seed_service: DnsSeedService,
+        session_model: SessionLengthModel,
+        *,
+        discovery_interval_s: Optional[float] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.policy = policy
+        self.seed_service = seed_service
+        self.churn = ChurnModel(
+            simulator,
+            session_model,
+            on_leave=self._handle_leave,
+            on_join=self._handle_join,
+        )
+        self._discovery_timer: Optional[PeriodicTimer] = None
+        if discovery_interval_s is not None:
+            self._discovery_timer = PeriodicTimer(
+                simulator,
+                discovery_interval_s,
+                self._discovery_sweep,
+                jitter=0.1,
+                rng=simulator.random.stream("maintenance-discovery"),
+                label="maintenance-discovery",
+            )
+        self.nodes_repaired = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self, node_ids: Optional[list[int]] = None) -> None:
+        """Begin churn cycles (for ``node_ids`` or every registered node)."""
+        targets = node_ids if node_ids is not None else self.network.node_ids()
+        for node_id in targets:
+            self.churn.start_node(node_id)
+        if self._discovery_timer is not None:
+            self._discovery_timer.start()
+
+    def stop(self) -> None:
+        """Stop the periodic discovery sweep (churn processes run to end of sim)."""
+        if self._discovery_timer is not None and self._discovery_timer.running:
+            self._discovery_timer.stop()
+
+    # ----------------------------------------------------------- churn hooks
+    def _handle_leave(self, node_id: int) -> None:
+        self.network.set_online(node_id, False)
+        self.seed_service.set_online(node_id, False)
+        self.policy.on_node_leave(node_id)
+
+    def _handle_join(self, node_id: int) -> None:
+        self.network.set_online(node_id, True)
+        self.seed_service.set_online(node_id, True)
+        self.policy.on_node_join(node_id)
+        self.nodes_repaired += 1
+
+    # ------------------------------------------------------------- discovery
+    def _discovery_sweep(self) -> None:
+        """Top up connections of under-connected online nodes."""
+        for node_id in self.network.online_node_ids():
+            degree = self.network.topology.degree(node_id)
+            if degree < self.policy.max_outbound:
+                self.policy.run_discovery_round(node_id)

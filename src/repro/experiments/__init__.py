@@ -1,0 +1,37 @@
+"""Experiment drivers that regenerate the paper's figures (and extensions).
+
+Each module corresponds to one experiment in DESIGN.md's index:
+
+* :mod:`repro.experiments.fig3` — Fig. 3: Δt distribution for vanilla Bitcoin
+  vs LBC vs BCBPT at ``d_t`` = 25 ms;
+* :mod:`repro.experiments.fig4` — Fig. 4: Δt distribution for BCBPT at
+  ``d_t`` ∈ {30, 50, 100} ms;
+* :mod:`repro.experiments.threshold_sweep` — Ext-1: fine-grained threshold
+  sweep with cluster-size statistics;
+* :mod:`repro.experiments.overhead` — Ext-2: measurement/control overhead of
+  each protocol (the cost the paper defers to future work);
+* :mod:`repro.experiments.attacks` — Ext-3: eclipse and partition attack
+  susceptibility of clustered topologies;
+* :mod:`repro.experiments.doublespend` — Ext-4: double-spend race success as a
+  function of propagation delay;
+* :mod:`repro.experiments.ablation` — Ext-5: verification-delay and
+  long-distance-link ablations of the BCBPT design;
+* :mod:`repro.experiments.validation` — Val-1: simulator validation against
+  published real-network propagation shapes.
+
+They all build on :class:`repro.experiments.runner.PropagationExperiment` and
+report through :mod:`repro.experiments.reporting`.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentReport, format_table
+from repro.experiments.runner import PropagationExperiment, PropagationResult, run_protocol_comparison
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentReport",
+    "PropagationExperiment",
+    "PropagationResult",
+    "format_table",
+    "run_protocol_comparison",
+]

@@ -1,0 +1,159 @@
+"""Ext-5 — ablations of the design choices DESIGN.md calls out.
+
+Two ablations on the BCBPT configuration, run with the same measuring-node
+methodology as the main figures:
+
+* **Verification-delay ablation** — the paper (after Decker & Wattenhofer)
+  blames part of the propagation delay on per-hop transaction verification;
+  Stathakopoulou's "faster Bitcoin network" pipelines relay ahead of
+  verification.  Comparing BCBPT with the verification delay charged vs
+  skipped isolates how much of the remaining delay is CPU versus links.
+* **Long-link ablation** — BCBPT keeps "a few long distance links to the
+  outside cluster".  Varying that count (0, 2, 5 per node) shows the
+  trade-off between intra-cluster delay (unaffected) and the overlay's
+  inter-cluster connectivity (hop count / partition resilience).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.bcbpt import BcbptConfig, BcbptPolicy
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentReport, format_table
+from repro.experiments.runner import PropagationExperiment
+from repro.protocol.node import NodeConfig
+from repro.workloads.network_gen import NetworkParameters, build_network
+from repro.workloads.scenarios import Scenario
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """Result of one ablation variant."""
+
+    variant: str
+    mean_delay_s: float
+    variance_s2: float
+    p90_delay_s: float
+    average_degree: float
+    average_path_length: float
+
+
+def _bcbpt_scenario(
+    cfg: ExperimentConfig,
+    seed: int,
+    *,
+    verification_enabled: bool = True,
+    long_links_per_node: int = 2,
+) -> Scenario:
+    """Build a BCBPT scenario with explicit ablation knobs."""
+    parameters = NetworkParameters(
+        node_count=cfg.node_count,
+        seed=seed,
+        node_config=NodeConfig(verification_enabled=verification_enabled),
+    )
+    simulated = build_network(parameters)
+    policy = BcbptPolicy(
+        simulated.network,
+        simulated.seed_service,
+        simulated.simulator.random.stream("policy-bcbpt"),
+        BcbptConfig(
+            latency_threshold_s=cfg.latency_threshold_s,
+            max_outbound=cfg.max_outbound,
+            long_links_per_node=long_links_per_node,
+        ),
+    )
+    report = policy.build_topology()
+    return Scenario(name="bcbpt", network=simulated, policy=policy, build_report=report)
+
+
+def _measure_variant(cfg: ExperimentConfig, variant: str, **knobs: object) -> AblationPoint:
+    delays = None
+    degrees: list[float] = []
+    path_lengths: list[float] = []
+    for seed in cfg.seeds:
+        scenario = _bcbpt_scenario(cfg, seed, **knobs)
+        topology = scenario.network.network.topology
+        degrees.append(topology.average_degree())
+        path_lengths.append(topology.average_shortest_path_length())
+        result = PropagationExperiment(scenario, cfg).run()
+        delays = result.delays if delays is None else delays.merge(result.delays)
+    assert delays is not None
+    stats = delays.summary()
+    return AblationPoint(
+        variant=variant,
+        mean_delay_s=stats["mean_s"],
+        variance_s2=stats["variance_s2"],
+        p90_delay_s=stats["p90_s"],
+        average_degree=sum(degrees) / len(degrees),
+        average_path_length=sum(path_lengths) / len(path_lengths),
+    )
+
+
+def run_verification_ablation(config: Optional[ExperimentConfig] = None) -> list[AblationPoint]:
+    """BCBPT with per-hop verification delay charged vs pipelined (skipped)."""
+    cfg = config if config is not None else ExperimentConfig()
+    return [
+        _measure_variant(cfg, "verify-then-relay", verification_enabled=True),
+        _measure_variant(cfg, "pipelined-relay", verification_enabled=False),
+    ]
+
+
+def run_long_link_ablation(
+    config: Optional[ExperimentConfig] = None,
+    counts: Sequence[int] = (0, 2, 5),
+) -> list[AblationPoint]:
+    """BCBPT with different numbers of long-distance links per node."""
+    cfg = config if config is not None else ExperimentConfig()
+    return [
+        _measure_variant(cfg, f"long-links={count}", long_links_per_node=count)
+        for count in counts
+    ]
+
+
+def build_report(
+    verification_points: list[AblationPoint], long_link_points: list[AblationPoint]
+) -> ExperimentReport:
+    """Render both ablations."""
+    report = ExperimentReport(
+        experiment_id="Ext-5",
+        description="Ablations: verification delay and long-distance links",
+    )
+
+    def rows(points: list[AblationPoint]) -> list[list[object]]:
+        return [
+            [
+                point.variant,
+                point.mean_delay_s * 1e3,
+                point.variance_s2 * 1e6,
+                point.p90_delay_s * 1e3,
+                point.average_degree,
+                point.average_path_length,
+            ]
+            for point in points
+        ]
+
+    headers = ["variant", "mean_ms", "var_ms2", "p90_ms", "avg degree", "avg path len"]
+    report.add_section("Verification-delay ablation", format_table(headers, rows(verification_points)))
+    report.add_section("Long-link ablation", format_table(headers, rows(long_link_points)))
+    report.add_data("verification", verification_points)
+    report.add_data("long_links", long_link_points)
+    return report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    ExperimentConfig.add_cli_arguments(parser)
+    args = parser.parse_args(argv)
+    config = ExperimentConfig.from_cli(args)
+    verification = run_verification_ablation(config)
+    long_links = run_long_link_ablation(config)
+    print(build_report(verification, long_links).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

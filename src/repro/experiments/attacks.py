@@ -1,0 +1,272 @@
+"""Ext-3 — eclipse and partition attack susceptibility (the paper's future work).
+
+Section V.C: "it would seem possible for an attacker to more easily launch
+eclipse attacks by concentrating its bad peers within a small cluster ...
+Similarly, partition attacks seem to have a great potential.  So our future
+work will include evaluation of partition attacks as well as eclipse attacks."
+
+Two scenario harnesses:
+
+* **Eclipse**: an adversary controls a fraction of the node population and
+  places its nodes in the victim's region (so they are both geographically and
+  latency close to the victim).  After the topology is built we measure what
+  fraction of the victim's connections are adversarial — the quantity that
+  determines whether the victim's view of the network can be controlled.
+* **Partition**: the adversary aims to split a target cluster from the rest of
+  the network by severing inter-cluster links.  We count the links crossing
+  the target cluster's boundary (the attack cost) and check whether removing
+  them actually disconnects the cluster (the attack effect).  For the
+  non-clustered Bitcoin baseline, the "cluster" is the victim's geographic
+  region.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import networkx as nx
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentReport, format_table
+from repro.workloads.network_gen import NetworkParameters
+from repro.workloads.scenarios import Scenario, build_scenario
+
+ATTACK_PROTOCOLS = ("bitcoin", "lbc", "bcbpt")
+
+
+@dataclass(frozen=True)
+class EclipseResult:
+    """Outcome of one eclipse scenario."""
+
+    protocol: str
+    adversary_fraction: float
+    victim_connection_count: int
+    adversarial_connection_count: int
+
+    @property
+    def eclipsed_fraction(self) -> float:
+        """Share of the victim's connections controlled by the adversary."""
+        if self.victim_connection_count == 0:
+            return 0.0
+        return self.adversarial_connection_count / self.victim_connection_count
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of one partition scenario."""
+
+    protocol: str
+    target_group_size: int
+    boundary_links: int
+    total_links: int
+    partition_achieved: bool
+    largest_component_fraction: float
+
+    @property
+    def boundary_fraction(self) -> float:
+        """Share of all links the adversary must sever."""
+        if self.total_links == 0:
+            return 0.0
+        return self.boundary_links / self.total_links
+
+
+def _pick_victim(scenario: Scenario) -> int:
+    """A deterministic victim: the first node of the most common region."""
+    simulated = scenario.network
+    by_region: dict[str, list[int]] = {}
+    for node_id in simulated.node_ids():
+        by_region.setdefault(simulated.node(node_id).position.region, []).append(node_id)
+    region = max(by_region, key=lambda r: len(by_region[r]))
+    return min(by_region[region])
+
+
+def run_eclipse(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    adversary_fraction: float = 0.15,
+    protocols: Sequence[str] = ATTACK_PROTOCOLS,
+) -> list[EclipseResult]:
+    """Measure the adversarial share of the victim's connections per protocol.
+
+    The adversary's nodes are the ``adversary_fraction`` of nodes nearest (in
+    latency) to the victim, modelling an attacker that deliberately provisions
+    peers close to its target — the strategy the paper warns about.
+    """
+    if not 0 < adversary_fraction < 1:
+        raise ValueError("adversary_fraction must be in (0, 1)")
+    cfg = config if config is not None else ExperimentConfig()
+    results: list[EclipseResult] = []
+    for protocol in protocols:
+        victim_connections = 0
+        adversarial = 0
+        for seed in cfg.seeds:
+            scenario = build_scenario(
+                protocol,
+                NetworkParameters(node_count=cfg.node_count, seed=seed),
+                latency_threshold_s=cfg.latency_threshold_s,
+                max_outbound=cfg.max_outbound,
+            )
+            network = scenario.network.network
+            victim = _pick_victim(scenario)
+            others = [n for n in scenario.network.node_ids() if n != victim]
+            others.sort(key=lambda peer: network.base_rtt(victim, peer))
+            adversary_count = max(1, int(adversary_fraction * cfg.node_count))
+            adversary_nodes = set(others[:adversary_count])
+            neighbors = network.neighbors(victim)
+            victim_connections += len(neighbors)
+            adversarial += sum(1 for peer in neighbors if peer in adversary_nodes)
+        results.append(
+            EclipseResult(
+                protocol=protocol,
+                adversary_fraction=adversary_fraction,
+                victim_connection_count=victim_connections,
+                adversarial_connection_count=adversarial,
+            )
+        )
+    return results
+
+
+def run_partition(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    protocols: Sequence[str] = ATTACK_PROTOCOLS,
+) -> list[PartitionResult]:
+    """Measure how cheaply an adversary can cut a target group off the network."""
+    cfg = config if config is not None else ExperimentConfig()
+    results: list[PartitionResult] = []
+    for protocol in protocols:
+        boundary_total = 0
+        links_total = 0
+        group_total = 0
+        achieved_any = False
+        largest_fractions: list[float] = []
+        for seed in cfg.seeds:
+            scenario = build_scenario(
+                protocol,
+                NetworkParameters(node_count=cfg.node_count, seed=seed),
+                latency_threshold_s=cfg.latency_threshold_s,
+                max_outbound=cfg.max_outbound,
+            )
+            network = scenario.network.network
+            target_group = _target_group(scenario)
+            graph = network.topology.snapshot()
+            boundary = [
+                (a, b)
+                for a, b in graph.edges
+                if (a in target_group) != (b in target_group)
+            ]
+            boundary_total += len(boundary)
+            links_total += graph.number_of_edges()
+            group_total += len(target_group)
+            attacked = graph.copy()
+            attacked.remove_edges_from(boundary)
+            components = list(nx.connected_components(attacked))
+            achieved = any(set(c) == set(target_group) for c in components) or not nx.is_connected(
+                attacked
+            )
+            achieved_any = achieved_any or achieved
+            largest = max((len(c) for c in components), default=0)
+            largest_fractions.append(largest / max(1, graph.number_of_nodes()))
+        count = len(cfg.seeds)
+        results.append(
+            PartitionResult(
+                protocol=protocol,
+                target_group_size=group_total // count,
+                boundary_links=boundary_total // count,
+                total_links=links_total // count,
+                partition_achieved=achieved_any,
+                largest_component_fraction=sum(largest_fractions) / count,
+            )
+        )
+    return results
+
+
+def _target_group(scenario: Scenario) -> set[int]:
+    """The group the partition adversary tries to isolate.
+
+    For clustered protocols this is the largest cluster; for vanilla Bitcoin
+    (no clusters) it is the node population of the most common region.
+    """
+    clusters = list(scenario.policy.clusters.clusters())
+    if clusters:
+        largest = max(clusters, key=lambda c: c.size)
+        return set(largest.members)
+    simulated = scenario.network
+    by_region: dict[str, set[int]] = {}
+    for node_id in simulated.node_ids():
+        by_region.setdefault(simulated.node(node_id).position.region, set()).add(node_id)
+    return max(by_region.values(), key=len)
+
+
+def build_report(
+    eclipse_results: list[EclipseResult], partition_results: list[PartitionResult]
+) -> ExperimentReport:
+    """Render both attack analyses into one report."""
+    report = ExperimentReport(
+        experiment_id="Ext-3",
+        description="Eclipse and partition attack susceptibility",
+    )
+    report.add_section(
+        "Eclipse: adversarial share of the victim's connections",
+        format_table(
+            ["protocol", "adversary frac", "victim conns", "adversarial", "eclipsed frac"],
+            [
+                [
+                    r.protocol,
+                    r.adversary_fraction,
+                    r.victim_connection_count,
+                    r.adversarial_connection_count,
+                    r.eclipsed_fraction,
+                ]
+                for r in eclipse_results
+            ],
+        ),
+    )
+    report.add_section(
+        "Partition: cost of isolating the largest cluster/region",
+        format_table(
+            [
+                "protocol",
+                "target size",
+                "boundary links",
+                "total links",
+                "boundary frac",
+                "partition achieved",
+                "largest comp frac",
+            ],
+            [
+                [
+                    r.protocol,
+                    r.target_group_size,
+                    r.boundary_links,
+                    r.total_links,
+                    r.boundary_fraction,
+                    r.partition_achieved,
+                    r.largest_component_fraction,
+                ]
+                for r in partition_results
+            ],
+        ),
+    )
+    report.add_data("eclipse", eclipse_results)
+    report.add_data("partition", partition_results)
+    return report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    ExperimentConfig.add_cli_arguments(parser)
+    parser.add_argument("--adversary-fraction", type=float, default=0.15)
+    args = parser.parse_args(argv)
+    config = ExperimentConfig.from_cli(args)
+    eclipse = run_eclipse(config, adversary_fraction=args.adversary_fraction)
+    partition = run_partition(config)
+    print(build_report(eclipse, partition).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,155 @@
+"""Ext-2 — measurement and control-plane overhead of each protocol.
+
+Section IV.A: "to measure the distance between nodes in 'ping latency'
+requires every pair of nodes to interact, which added an extra overhead to the
+network.  This overhead will be evaluated in our future work."  This extension
+performs that evaluation: for each protocol it counts the ping/pong exchanges,
+cluster-control messages (JOIN, JOIN_ACCEPT, CLUSTER_MEMBERS) and bytes spent
+building the topology, normalised per node, and relates them to the
+propagation-delay improvement the protocol buys.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentReport, format_table
+from repro.experiments.runner import PropagationExperiment
+from repro.workloads.network_gen import NetworkParameters
+from repro.workloads.scenarios import build_scenario
+
+OVERHEAD_PROTOCOLS = ("bitcoin", "lbc", "bcbpt")
+
+#: Message commands attributed to topology construction / clustering control.
+CONTROL_COMMANDS = ("join", "join_accept", "cluster_members", "getaddr", "addr")
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    """Control-plane cost and resulting delay for one protocol."""
+
+    protocol: str
+    ping_messages_per_node: float
+    control_messages_per_node: float
+    control_bytes_per_node: float
+    handshake_messages_per_node: float
+    total_build_bytes_per_node: float
+    mean_delay_s: float
+    delay_variance_s2: float
+
+
+def run_overhead(
+    config: Optional[ExperimentConfig] = None,
+    protocols: Sequence[str] = OVERHEAD_PROTOCOLS,
+) -> list[OverheadPoint]:
+    """Measure topology-construction overhead and delay for each protocol."""
+    cfg = config if config is not None else ExperimentConfig()
+    points: list[OverheadPoint] = []
+    for protocol in protocols:
+        ping_counts: list[float] = []
+        control_counts: list[float] = []
+        control_bytes: list[float] = []
+        handshake_counts: list[float] = []
+        total_bytes: list[float] = []
+        delays = None
+        for seed in cfg.seeds:
+            scenario = build_scenario(
+                protocol,
+                NetworkParameters(node_count=cfg.node_count, seed=seed),
+                latency_threshold_s=cfg.latency_threshold_s,
+                max_outbound=cfg.max_outbound,
+            )
+            network = scenario.network.network
+            nodes = max(1, cfg.node_count)
+            # Counters at this point reflect only the topology build (no
+            # measurement traffic has been generated yet).
+            ping_counts.append(
+                (network.messages_sent.get("ping", 0) + network.messages_sent.get("pong", 0))
+                / nodes
+            )
+            control_counts.append(
+                sum(network.messages_sent.get(cmd, 0) for cmd in CONTROL_COMMANDS) / nodes
+            )
+            control_bytes.append(
+                sum(network.bytes_sent.get(cmd, 0) for cmd in CONTROL_COMMANDS) / nodes
+            )
+            handshake_counts.append(
+                (network.messages_sent.get("version", 0) + network.messages_sent.get("verack", 0))
+                / nodes
+            )
+            total_bytes.append(network.total_bytes() / nodes)
+            experiment = PropagationExperiment(scenario, cfg)
+            result = experiment.run()
+            delays = result.delays if delays is None else delays.merge(result.delays)
+        assert delays is not None
+        stats = delays.summary()
+        count = len(cfg.seeds)
+        points.append(
+            OverheadPoint(
+                protocol=protocol,
+                ping_messages_per_node=sum(ping_counts) / count,
+                control_messages_per_node=sum(control_counts) / count,
+                control_bytes_per_node=sum(control_bytes) / count,
+                handshake_messages_per_node=sum(handshake_counts) / count,
+                total_build_bytes_per_node=sum(total_bytes) / count,
+                mean_delay_s=stats["mean_s"],
+                delay_variance_s2=stats["variance_s2"],
+            )
+        )
+    return points
+
+
+def build_report(points: list[OverheadPoint]) -> ExperimentReport:
+    """Render overhead-vs-benefit as a report."""
+    report = ExperimentReport(
+        experiment_id="Ext-2",
+        description="Topology-construction overhead vs propagation-delay benefit",
+    )
+    rows = [
+        [
+            point.protocol,
+            point.ping_messages_per_node,
+            point.control_messages_per_node,
+            point.control_bytes_per_node,
+            point.handshake_messages_per_node,
+            point.total_build_bytes_per_node,
+            point.mean_delay_s * 1e3,
+            point.delay_variance_s2 * 1e6,
+        ]
+        for point in points
+    ]
+    report.add_section(
+        "Per-node overhead (topology build) and resulting delay",
+        format_table(
+            [
+                "protocol",
+                "ping msgs",
+                "control msgs",
+                "control bytes",
+                "handshake msgs",
+                "total bytes",
+                "mean Δt ms",
+                "var Δt ms²",
+            ],
+            rows,
+        ),
+    )
+    report.add_data("points", points)
+    return report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    ExperimentConfig.add_cli_arguments(parser)
+    args = parser.parse_args(argv)
+    config = ExperimentConfig.from_cli(args)
+    print(build_report(run_overhead(config)).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

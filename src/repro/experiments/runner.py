@@ -1,0 +1,191 @@
+"""The propagation experiment runner.
+
+:class:`PropagationExperiment` executes the paper's measurement methodology on
+one built :class:`~repro.workloads.scenarios.Scenario`:
+
+1. fund every node so wallets can emit payments;
+2. pick a set of measuring nodes spread across the id space;
+3. run the Fig. 2 measuring-node campaign from each of them;
+4. aggregate the Δt_{m,n} samples into one distribution per protocol.
+
+:func:`run_protocol_comparison` repeats that over several protocols and seeds
+on *identically parameterised* networks — the controlled comparison behind
+Fig. 3 — and returns per-protocol aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.measurement.measuring_node import CampaignResult, MeasurementCampaign, MeasuringNode
+from repro.measurement.stats import DelayDistribution
+from repro.workloads.generators import fund_nodes
+from repro.workloads.network_gen import NetworkParameters
+from repro.workloads.scenarios import Scenario, build_scenario
+
+
+@dataclass
+class PropagationResult:
+    """Aggregated propagation-delay measurements for one protocol.
+
+    Attributes:
+        protocol: protocol label ("bitcoin", "lbc", "bcbpt", or
+            "bcbpt@XXms" for threshold sweeps).
+        delays: all Δt samples pooled across seeds and measuring nodes.
+        per_seed: Δt distribution per master seed.
+        per_rank: Δt distribution by reception rank (1 = first connection to
+            receive), pooled across seeds — the x-axis of the paper's figures.
+        campaigns: the underlying per-measuring-node campaign results.
+        cluster_summaries: cluster statistics per seed (empty for "bitcoin").
+        build_reports: topology build reports per seed.
+    """
+
+    protocol: str
+    delays: DelayDistribution = field(default_factory=DelayDistribution)
+    per_seed: dict[int, DelayDistribution] = field(default_factory=dict)
+    per_rank: dict[int, DelayDistribution] = field(default_factory=dict)
+    campaigns: list[CampaignResult] = field(default_factory=list)
+    cluster_summaries: dict[int, dict[str, float]] = field(default_factory=dict)
+    build_reports: dict[int, object] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, float]:
+        """Summary statistics of the pooled Δt distribution."""
+        return self.delays.summary()
+
+    def rank_variance_curve(self) -> list[tuple[int, float]]:
+        """(rank, variance) pairs pooled across campaigns."""
+        curve = []
+        for rank in sorted(self.per_rank):
+            dist = self.per_rank[rank]
+            if len(dist) >= 2:
+                curve.append((rank, dist.variance()))
+        return curve
+
+    def rank_mean_curve(self) -> list[tuple[int, float]]:
+        """(rank, mean Δt) pairs pooled across campaigns."""
+        return [
+            (rank, self.per_rank[rank].mean())
+            for rank in sorted(self.per_rank)
+            if len(self.per_rank[rank]) >= 1
+        ]
+
+
+class PropagationExperiment:
+    """Runs the measuring-node campaign on one prepared scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: Optional[ExperimentConfig] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config if config is not None else ExperimentConfig(
+            node_count=scenario.network.node_count
+        )
+        self._funded = False
+
+    def _ensure_funding(self) -> None:
+        if self._funded:
+            return
+        fund_nodes(
+            list(self.scenario.network.nodes.values()),
+            outputs_per_node=self.config.funding_outputs,
+        )
+        self._funded = True
+
+    def measuring_node_ids(self) -> list[int]:
+        """Measuring nodes spread evenly across the node id space."""
+        node_ids = self.scenario.network.node_ids()
+        count = min(self.config.measuring_nodes, len(node_ids))
+        stride = max(1, len(node_ids) // count)
+        return [node_ids[i * stride] for i in range(count)]
+
+    def run(self, repetitions: Optional[int] = None) -> PropagationResult:
+        """Execute the campaign and return pooled results for this scenario."""
+        self._ensure_funding()
+        runs = repetitions if repetitions is not None else self.config.runs
+        result = PropagationResult(protocol=self.scenario.name)
+        simulated = self.scenario.network
+        for measuring_id in self.measuring_node_ids():
+            node = simulated.node(measuring_id)
+            measuring = MeasuringNode(
+                node,
+                simulated.simulator.random.stream(f"measuring-{measuring_id}"),
+                payment_satoshi=self.config.payment_satoshi,
+                run_timeout_s=self.config.run_timeout_s,
+                exclude_long_links=self.config.exclude_long_links,
+            )
+            campaign = MeasurementCampaign(measuring, self.scenario.name)
+            campaign_result = campaign.run(runs)
+            result.campaigns.append(campaign_result)
+            result.delays = result.delays.merge(campaign_result.delays)
+            for rank, dist in campaign_result.per_rank_delays.items():
+                result.per_rank.setdefault(rank, DelayDistribution()).extend(dist.samples)
+        seed = simulated.parameters.seed
+        result.per_seed[seed] = result.delays
+        result.cluster_summaries[seed] = self.scenario.policy.clusters.summary()
+        result.build_reports[seed] = self.scenario.build_report
+        return result
+
+
+def run_protocol_comparison(
+    protocols: Sequence[str],
+    config: ExperimentConfig,
+    *,
+    thresholds: Optional[dict[str, float]] = None,
+) -> dict[str, PropagationResult]:
+    """Run the same measurement campaign under several protocols and seeds.
+
+    Args:
+        protocols: protocol labels to compare (see
+            :data:`repro.workloads.scenarios.POLICY_NAMES`); a label of the
+            form ``"bcbpt@50ms"`` selects BCBPT with that threshold.
+        config: shared experiment configuration.
+        thresholds: optional per-label latency-threshold overrides (seconds).
+
+    Returns:
+        Label -> pooled :class:`PropagationResult` across all seeds.
+    """
+    results: dict[str, PropagationResult] = {}
+    for label in protocols:
+        policy_name, threshold = _parse_label(label, config, thresholds)
+        pooled = PropagationResult(protocol=label)
+        for seed in config.seeds:
+            parameters = NetworkParameters(node_count=config.node_count, seed=seed)
+            scenario = build_scenario(
+                policy_name,
+                parameters,
+                latency_threshold_s=threshold,
+                max_outbound=config.max_outbound,
+            )
+            scenario.name = label
+            experiment = PropagationExperiment(scenario, config)
+            result = experiment.run()
+            pooled.delays = pooled.delays.merge(result.delays)
+            pooled.per_seed[seed] = result.delays
+            pooled.campaigns.extend(result.campaigns)
+            pooled.cluster_summaries[seed] = result.cluster_summaries[seed]
+            pooled.build_reports[seed] = result.build_reports[seed]
+            for rank, dist in result.per_rank.items():
+                pooled.per_rank.setdefault(rank, DelayDistribution()).extend(dist.samples)
+        results[label] = pooled
+    return results
+
+
+def _parse_label(
+    label: str,
+    config: ExperimentConfig,
+    thresholds: Optional[dict[str, float]],
+) -> tuple[str, float]:
+    """Resolve a protocol label to (policy name, latency threshold)."""
+    if thresholds is not None and label in thresholds:
+        base = label.split("@", 1)[0]
+        return base, thresholds[label]
+    if "@" in label:
+        base, spec = label.split("@", 1)
+        if not spec.endswith("ms"):
+            raise ValueError(f"threshold spec must end in 'ms': {label!r}")
+        return base, float(spec[:-2]) / 1000.0
+    return label, config.latency_threshold_s

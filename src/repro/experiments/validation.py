@@ -1,0 +1,156 @@
+"""Val-1 — simulator validation against published real-network behaviour.
+
+The authors validated their simulator against real-network propagation-delay
+measurements (Section V.A).  Those traces are not public, so this experiment
+validates the simulated substrate against the *published shape* of the real
+network instead:
+
+* the crawler-observed RTT distribution must be realistic: intra-region
+  medians of a few tens of milliseconds, inter-region medians several times
+  larger, and a long right tail (the same qualitative shape the authors'
+  20,000-ping crawl and Decker & Wattenhofer's measurements show);
+* the vanilla-Bitcoin Δt distribution must be right-skewed (mean above the
+  median) with a long tail — the signature of store-and-forward INV/GETDATA
+  relay over heterogeneous links.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentReport, format_table
+from repro.experiments.runner import PropagationExperiment
+from repro.measurement.crawler import CrawlerReport, NetworkCrawler
+from repro.workloads.network_gen import NetworkParameters, build_network
+from repro.workloads.scenarios import build_scenario
+
+
+@dataclass(frozen=True)
+class ValidationResultSummary:
+    """The validation checks and their outcomes."""
+
+    crawler: CrawlerReport
+    rtt_median_s: float
+    rtt_p90_s: float
+    intra_region_median_s: float
+    inter_region_median_s: float
+    bitcoin_delay_mean_s: float
+    bitcoin_delay_median_s: float
+    bitcoin_delay_p95_s: float
+
+    @property
+    def rtt_shape_ok(self) -> bool:
+        """Intra-region fast, inter-region several times slower, long tail."""
+        return (
+            0.001 <= self.intra_region_median_s <= 0.080
+            and self.inter_region_median_s >= 2.0 * self.intra_region_median_s
+            and self.rtt_p90_s > self.rtt_median_s
+        )
+
+    @property
+    def delay_shape_ok(self) -> bool:
+        """Right-skewed Δt with a long tail, as in real-network measurements."""
+        return (
+            self.bitcoin_delay_mean_s >= self.bitcoin_delay_median_s * 0.9
+            and self.bitcoin_delay_p95_s >= 1.5 * self.bitcoin_delay_median_s
+        )
+
+    @property
+    def all_ok(self) -> bool:
+        """Whether every validation criterion passes."""
+        return self.rtt_shape_ok and self.delay_shape_ok
+
+
+def run_validation(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    crawler_samples: int = 5_000,
+) -> ValidationResultSummary:
+    """Crawl the substrate and measure the vanilla-Bitcoin delay shape."""
+    if crawler_samples <= 0:
+        raise ValueError("crawler_samples must be positive")
+    cfg = config if config is not None else ExperimentConfig()
+    seed = cfg.seeds[0]
+
+    # Substrate RTT shape, measured the way the authors' crawler measured it.
+    simulated = build_network(NetworkParameters(node_count=cfg.node_count, seed=seed))
+    crawler = NetworkCrawler(simulated.network, simulated.simulator.random.stream("crawler"))
+    crawl = crawler.crawl(crawler_samples)
+
+    # Vanilla Bitcoin propagation-delay shape.
+    scenario = build_scenario(
+        "bitcoin",
+        NetworkParameters(node_count=cfg.node_count, seed=seed),
+        max_outbound=cfg.max_outbound,
+    )
+    result = PropagationExperiment(scenario, cfg).run()
+    delays = result.summary()
+
+    return ValidationResultSummary(
+        crawler=crawl,
+        rtt_median_s=crawl.rtt_distribution.median(),
+        rtt_p90_s=crawl.rtt_distribution.percentile(90),
+        intra_region_median_s=crawl.intra_region_median_s,
+        inter_region_median_s=crawl.inter_region_median_s,
+        bitcoin_delay_mean_s=delays["mean_s"],
+        bitcoin_delay_median_s=delays["median_s"],
+        bitcoin_delay_p95_s=delays["p95_s"],
+    )
+
+
+def build_report(summary: ValidationResultSummary) -> ExperimentReport:
+    """Render the validation outcome."""
+    report = ExperimentReport(
+        experiment_id="Val-1",
+        description="Simulator validation against published real-network shapes",
+    )
+    report.add_section(
+        "Crawler RTT distribution",
+        format_table(
+            ["metric", "value"],
+            [
+                ["reachable nodes", summary.crawler.reachable_nodes],
+                ["ping samples", summary.crawler.ping_samples],
+                ["median RTT (ms)", summary.rtt_median_s * 1e3],
+                ["p90 RTT (ms)", summary.rtt_p90_s * 1e3],
+                ["intra-region median (ms)", summary.intra_region_median_s * 1e3],
+                ["inter-region median (ms)", summary.inter_region_median_s * 1e3],
+                ["RTT shape OK", summary.rtt_shape_ok],
+            ],
+        ),
+    )
+    report.add_section(
+        "Vanilla Bitcoin Δt shape",
+        format_table(
+            ["metric", "value"],
+            [
+                ["mean Δt (ms)", summary.bitcoin_delay_mean_s * 1e3],
+                ["median Δt (ms)", summary.bitcoin_delay_median_s * 1e3],
+                ["p95 Δt (ms)", summary.bitcoin_delay_p95_s * 1e3],
+                ["delay shape OK", summary.delay_shape_ok],
+            ],
+        ),
+    )
+    report.add_data("summary", summary)
+    return report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    ExperimentConfig.add_cli_arguments(parser)
+    parser.add_argument("--crawler-samples", type=int, default=5_000)
+    args = parser.parse_args(argv)
+    config = ExperimentConfig.from_cli(args)
+    summary = run_validation(config, crawler_samples=args.crawler_samples)
+    print(build_report(summary).render())
+    print()
+    print(f"Validation {'PASSED' if summary.all_ok else 'FAILED'}")
+    return 0 if summary.all_ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Measurement infrastructure.
+
+Implements the paper's evaluation methodology (Section V):
+
+* :mod:`repro.measurement.stats` — delay-distribution statistics (mean,
+  median, variance, percentiles, CDF) used to summarise Δt_{m,n};
+* :mod:`repro.measurement.propagation` — the record of one measurement run
+  (which neighbour received the transaction when);
+* :mod:`repro.measurement.measuring_node` — the measuring node *m* of Fig. 2:
+  creates a valid transaction, sends it to exactly one of its connected
+  nodes, and records the time every other connection receives it;
+* :mod:`repro.measurement.crawler` — a crawler that samples ping/pong RTTs
+  across the network, standing in for the authors' real-network crawler used
+  to parameterise and validate their simulator.
+"""
+
+from repro.measurement.crawler import CrawlerReport, NetworkCrawler
+from repro.measurement.measuring_node import MeasurementCampaign, MeasuringNode
+from repro.measurement.propagation import PropagationRun, ReceptionRecord
+from repro.measurement.stats import DelayDistribution, summarize_delays
+
+__all__ = [
+    "CrawlerReport",
+    "DelayDistribution",
+    "MeasurementCampaign",
+    "MeasuringNode",
+    "NetworkCrawler",
+    "PropagationRun",
+    "ReceptionRecord",
+    "summarize_delays",
+]

@@ -1,0 +1,140 @@
+"""Delay-distribution statistics.
+
+The paper reports the *distribution* of the time differences Δt_{m,n} and, in
+particular, their variance ("variances of delays").  :class:`DelayDistribution`
+wraps a sample of delays and exposes the summary statistics the figures and
+benchmarks need: mean, median, variance, standard deviation, arbitrary
+percentiles and CDF points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class DelayDistribution:
+    """An empirical distribution of delays (seconds)."""
+
+    def __init__(self, samples: Iterable[float] = ()) -> None:
+        self._samples: list[float] = []
+        self.extend(samples)
+
+    # -------------------------------------------------------------- mutation
+    def add(self, delay_s: float) -> None:
+        """Add one delay sample.
+
+        Raises:
+            ValueError: for negative delays (a reception cannot precede the send).
+        """
+        if delay_s < 0:
+            raise ValueError(f"delay samples cannot be negative, got {delay_s}")
+        self._samples.append(float(delay_s))
+
+    def extend(self, delays: Iterable[float]) -> None:
+        """Add many delay samples."""
+        for delay in delays:
+            self.add(delay)
+
+    def merge(self, other: "DelayDistribution") -> "DelayDistribution":
+        """A new distribution containing both sample sets."""
+        merged = DelayDistribution(self._samples)
+        merged.extend(other.samples)
+        return merged
+
+    # ---------------------------------------------------------------- access
+    @property
+    def samples(self) -> list[float]:
+        """A copy of the raw samples."""
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __bool__(self) -> bool:
+        return bool(self._samples)
+
+    # ------------------------------------------------------------ statistics
+    def _require_samples(self) -> np.ndarray:
+        if not self._samples:
+            raise ValueError("the distribution has no samples")
+        return np.asarray(self._samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the delays."""
+        return float(np.mean(self._require_samples()))
+
+    def median(self) -> float:
+        """Median delay."""
+        return float(np.median(self._require_samples()))
+
+    def variance(self) -> float:
+        """Sample variance (the quantity the paper's figures compare)."""
+        data = self._require_samples()
+        if len(data) < 2:
+            return 0.0
+        return float(np.var(data, ddof=1))
+
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return float(np.sqrt(self.variance()))
+
+    def minimum(self) -> float:
+        """Smallest delay observed."""
+        return float(np.min(self._require_samples()))
+
+    def maximum(self) -> float:
+        """Largest delay observed."""
+        return float(np.max(self._require_samples()))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``0 <= q <= 100``)."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self._require_samples(), q))
+
+    def cdf(self, points: Sequence[float]) -> list[float]:
+        """Empirical CDF evaluated at the given delay points."""
+        data = np.sort(self._require_samples())
+        return [float(np.searchsorted(data, p, side="right")) / len(data) for p in points]
+
+    def cdf_curve(self, resolution: int = 50) -> list[tuple[float, float]]:
+        """(delay, cumulative fraction) pairs spanning the sample range."""
+        if resolution <= 1:
+            raise ValueError(f"resolution must be at least 2, got {resolution}")
+        data = self._require_samples()
+        points = np.linspace(float(np.min(data)), float(np.max(data)), resolution)
+        fractions = self.cdf(list(points))
+        return list(zip((float(p) for p in points), fractions))
+
+    def summary(self) -> dict[str, float]:
+        """The summary statistics used throughout the experiment reports."""
+        return {
+            "count": float(len(self._samples)),
+            "mean_s": self.mean(),
+            "median_s": self.median(),
+            "variance_s2": self.variance(),
+            "std_s": self.std(),
+            "p10_s": self.percentile(10),
+            "p25_s": self.percentile(25),
+            "p75_s": self.percentile(75),
+            "p90_s": self.percentile(90),
+            "p95_s": self.percentile(95),
+            "min_s": self.minimum(),
+            "max_s": self.maximum(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._samples:
+            return "DelayDistribution(empty)"
+        return (
+            f"DelayDistribution(n={len(self._samples)}, mean={self.mean():.4f}s, "
+            f"median={self.median():.4f}s, var={self.variance():.6f})"
+        )
+
+
+def summarize_delays(distributions: dict[str, DelayDistribution]) -> dict[str, dict[str, float]]:
+    """Summaries of several named distributions (one per protocol/threshold)."""
+    return {name: dist.summary() for name, dist in distributions.items() if len(dist) > 0}

@@ -1,0 +1,148 @@
+"""Node churn: session lengths and join/leave event generation.
+
+The paper's simulator drives joining and leaving events from measured session
+lengths of real Bitcoin peers.  Public measurements (and the authors' own
+prior work) consistently show a heavy-tailed distribution: most sessions last
+minutes to a few hours, while a minority of always-on nodes stay connected for
+days.  We reproduce that shape with a log-normal session length plus a
+configurable fraction of "stable" long-lived nodes, and an exponential
+downtime between sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.process import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class SessionParameters:
+    """Parameters of the synthetic session-length distribution.
+
+    Attributes:
+        median_session_s: median session length of ordinary nodes.
+        sigma: log-normal shape parameter (larger = heavier tail).
+        stable_fraction: share of nodes that are effectively always-on.
+        stable_session_s: session length assigned to stable nodes.
+        mean_downtime_s: mean off-line time between two sessions.
+    """
+
+    median_session_s: float = 3600.0
+    sigma: float = 1.4
+    stable_fraction: float = 0.25
+    stable_session_s: float = 7 * 24 * 3600.0
+    mean_downtime_s: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.median_session_s <= 0:
+            raise ValueError("median_session_s must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0.0 <= self.stable_fraction <= 1.0:
+            raise ValueError("stable_fraction must be in [0, 1]")
+        if self.stable_session_s <= 0:
+            raise ValueError("stable_session_s must be positive")
+        if self.mean_downtime_s < 0:
+            raise ValueError("mean_downtime_s cannot be negative")
+
+
+class SessionLengthModel:
+    """Draws session lengths and downtimes for individual nodes."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        parameters: Optional[SessionParameters] = None,
+    ) -> None:
+        self._rng = rng
+        self.parameters = parameters if parameters is not None else SessionParameters()
+        self._stable_nodes: dict[int, bool] = {}
+
+    def is_stable(self, node_id: int) -> bool:
+        """Whether the node belongs to the always-on population."""
+        stable = self._stable_nodes.get(node_id)
+        if stable is None:
+            stable = bool(self._rng.random() < self.parameters.stable_fraction)
+            self._stable_nodes[node_id] = stable
+        return stable
+
+    def sample_session_s(self, node_id: int) -> float:
+        """Length of the node's next online session in seconds."""
+        if self.is_stable(node_id):
+            return self.parameters.stable_session_s
+        mu = np.log(self.parameters.median_session_s)
+        return float(self._rng.lognormal(mean=mu, sigma=self.parameters.sigma))
+
+    def sample_downtime_s(self, node_id: int) -> float:
+        """Offline time before the node rejoins, in seconds."""
+        if self.parameters.mean_downtime_s == 0:
+            return 0.0
+        return float(self._rng.exponential(self.parameters.mean_downtime_s))
+
+
+class ChurnModel:
+    """Drives join/leave events for a population of nodes.
+
+    The model spawns one simulator process per churned node.  Each process
+    alternates online sessions and offline gaps, invoking the provided
+    ``on_leave`` / ``on_join`` callbacks so the protocol layer can tear down
+    and re-establish connections.
+
+    Args:
+        simulator: owning engine.
+        session_model: session length / downtime sampler.
+        on_leave: called with the node id when its session ends.
+        on_join: called with the node id when it comes back online.
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        session_model: SessionLengthModel,
+        on_leave: Callable[[int], None],
+        on_join: Callable[[int], None],
+    ) -> None:
+        self._simulator = simulator
+        self._sessions = session_model
+        self._on_leave = on_leave
+        self._on_join = on_join
+        self._online: dict[int, bool] = {}
+        self._processes: dict[int, object] = {}
+        self.join_events = 0
+        self.leave_events = 0
+
+    def is_online(self, node_id: int) -> bool:
+        """Whether the node is currently in an online session."""
+        return self._online.get(node_id, False)
+
+    def online_nodes(self) -> list[int]:
+        """Ids of nodes currently online."""
+        return [node_id for node_id, online in self._online.items() if online]
+
+    def start_node(self, node_id: int) -> None:
+        """Begin the churn cycle for a node that is online right now."""
+        if node_id in self._processes:
+            raise ValueError(f"node {node_id} is already managed by the churn model")
+        self._online[node_id] = True
+        process = self._simulator.spawn(self._churn_cycle(node_id), name=f"churn:{node_id}")
+        self._processes[node_id] = process
+
+    def _churn_cycle(self, node_id: int):
+        while True:
+            session = self._sessions.sample_session_s(node_id)
+            yield Timeout(session)
+            self._online[node_id] = False
+            self.leave_events += 1
+            self._on_leave(node_id)
+            downtime = self._sessions.sample_downtime_s(node_id)
+            yield Timeout(max(downtime, 1e-9))
+            self._online[node_id] = True
+            self.join_events += 1
+            self._on_join(node_id)

@@ -1,0 +1,142 @@
+"""Link layer: turns latency + bandwidth models into per-message delays.
+
+A :class:`Link` represents an established TCP connection between two peers in
+the overlay.  The :class:`LinkDelayCalculator` computes the simulated delivery
+delay of an individual protocol message across a link, combining:
+
+* transmission delay at the bottleneck of the two endpoints' access rates
+  (for small control messages this is negligible; for TX and BLOCK payloads it
+  matters);
+* one-way propagation over the pair's detour-adjusted physical distance;
+* receiver queuing (Eq. 4);
+* log-normal congestion jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.bandwidth import BandwidthModel
+from repro.net.geo import GeoPosition
+from repro.net.latency import LatencyModel
+from repro.net.message import message_size_bytes
+
+
+@dataclass(frozen=True)
+class Link:
+    """A live connection between two overlay nodes.
+
+    Attributes:
+        node_a: lower node id of the pair.
+        node_b: higher node id of the pair.
+        established_at: simulated time the connection completed its handshake.
+        is_cluster_link: True when the connection was created by a clustering
+            policy as an intra-cluster link (used by the overhead and attack
+            experiments to distinguish link types).
+        is_long_link: True for deliberate long-distance inter-cluster links
+            (BCBPT keeps "a few long distance links to the outside cluster").
+    """
+
+    node_a: int
+    node_b: int
+    established_at: float
+    is_cluster_link: bool = False
+    is_long_link: bool = False
+
+    def __post_init__(self) -> None:
+        if self.node_a == self.node_b:
+            raise ValueError(f"a node cannot link to itself (node {self.node_a})")
+        if self.node_a > self.node_b:
+            raise ValueError("Link endpoints must be ordered: node_a < node_b")
+
+    @staticmethod
+    def make(node_x: int, node_y: int, established_at: float, **kwargs: bool) -> "Link":
+        """Create a link with endpoints in canonical order."""
+        low, high = (node_x, node_y) if node_x < node_y else (node_y, node_x)
+        return Link(low, high, established_at, **kwargs)
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Canonical (low, high) endpoint pair."""
+        return (self.node_a, self.node_b)
+
+    def other(self, node_id: int) -> int:
+        """The endpoint that is not ``node_id``."""
+        if node_id == self.node_a:
+            return self.node_b
+        if node_id == self.node_b:
+            return self.node_a
+        raise ValueError(f"node {node_id} is not an endpoint of {self.key}")
+
+
+class LinkDelayCalculator:
+    """Computes message delivery delays across links.
+
+    Args:
+        latency_model: pairwise latency model (Eq. 2-4 + jitter + detours).
+        bandwidth_model: optional per-node bandwidth model; when provided, the
+            transmission component uses the endpoints' bottleneck rate instead
+            of the link-wide rate from the latency parameters.
+    """
+
+    def __init__(
+        self,
+        latency_model: LatencyModel,
+        bandwidth_model: Optional[BandwidthModel] = None,
+    ) -> None:
+        self._latency = latency_model
+        self._bandwidth = bandwidth_model
+
+    def message_delay_s(
+        self,
+        sender_id: int,
+        sender_position: GeoPosition,
+        receiver_id: int,
+        receiver_position: GeoPosition,
+        command: str,
+        payload: object = None,
+        *,
+        jittered: bool = True,
+    ) -> float:
+        """Delivery delay in seconds for one protocol message."""
+        size = message_size_bytes(command, payload)
+        delay = self._latency.one_way_delay_s(
+            sender_id,
+            sender_position,
+            receiver_id,
+            receiver_position,
+            message_bytes=size,
+            jittered=jittered,
+        )
+        if self._bandwidth is not None:
+            # Replace the flat-rate transmission term with the bottleneck rate.
+            flat_transmission = self._latency.transmission_delay_s(size)
+            bottleneck_transmission = self._bandwidth.transmission_delay_s(
+                sender_id, receiver_id, size
+            )
+            delay = max(
+                self._latency.parameters.minimum_rtt_s / 2.0,
+                delay - flat_transmission + bottleneck_transmission,
+            )
+        return delay
+
+    def ping_rtt_s(
+        self,
+        node_a: int,
+        position_a: GeoPosition,
+        node_b: int,
+        position_b: GeoPosition,
+    ) -> float:
+        """One stochastic ping RTT measurement between two connected nodes."""
+        return self._latency.sample_rtt(node_a, position_a, node_b, position_b).rtt_s
+
+    def base_rtt_s(
+        self,
+        node_a: int,
+        position_a: GeoPosition,
+        node_b: int,
+        position_b: GeoPosition,
+    ) -> float:
+        """Deterministic base RTT (no jitter) between two nodes."""
+        return self._latency.base_rtt_s(node_a, position_a, node_b, position_b)

@@ -1,0 +1,89 @@
+"""Bitcoin protocol substrate.
+
+Implements the pieces of the Bitcoin system the paper's evaluation depends on:
+
+* :mod:`repro.protocol.crypto` — keypairs, addresses and signatures (a
+  deterministic SHA-256 stand-in for ECDSA; see DESIGN.md substitutions);
+* :mod:`repro.protocol.transaction` — transactions with inputs/outputs;
+* :mod:`repro.protocol.utxo` — the unspent-output ledger;
+* :mod:`repro.protocol.block` / :mod:`repro.protocol.blockchain` — blocks and
+  a fork-capable chain;
+* :mod:`repro.protocol.validation` — transaction/block validation with an
+  explicit verification-cost model (the delay the paper blames for slow
+  propagation);
+* :mod:`repro.protocol.mempool` — per-node pool of unconfirmed transactions;
+* :mod:`repro.protocol.messages` — the P2P message vocabulary (VERSION, INV,
+  GETDATA, TX, PING/PONG, ADDR, JOIN, ...);
+* :mod:`repro.protocol.node` — the relay state machine every peer runs;
+* :mod:`repro.protocol.network` — wires nodes, links and the event engine
+  together and delivers messages with realistic delays;
+* :mod:`repro.protocol.discovery` — DNS seeds and ADDR gossip;
+* :mod:`repro.protocol.mining` — simplified proof-of-work block production;
+* :mod:`repro.protocol.doublespend` — the race attacker used by the
+  double-spend experiment.
+"""
+
+from repro.protocol.block import Block, BlockHeader
+from repro.protocol.blockchain import Blockchain
+from repro.protocol.crypto import KeyPair, sha256_hex, sign, verify_signature
+from repro.protocol.discovery import AddressBook, DnsSeedService
+from repro.protocol.mempool import Mempool
+from repro.protocol.messages import (
+    AddrMessage,
+    BlockMessage,
+    ClusterMembersMessage,
+    GetAddrMessage,
+    GetDataMessage,
+    InvMessage,
+    InventoryType,
+    JoinAcceptMessage,
+    JoinMessage,
+    Message,
+    PingMessage,
+    PongMessage,
+    TxMessage,
+    VerackMessage,
+    VersionMessage,
+)
+from repro.protocol.network import P2PNetwork
+from repro.protocol.node import BitcoinNode, NodeConfig
+from repro.protocol.transaction import Transaction, TxInput, TxOutput
+from repro.protocol.utxo import UtxoSet
+from repro.protocol.validation import TransactionValidator, ValidationResult
+
+__all__ = [
+    "AddrMessage",
+    "AddressBook",
+    "BitcoinNode",
+    "Block",
+    "BlockHeader",
+    "BlockMessage",
+    "Blockchain",
+    "ClusterMembersMessage",
+    "DnsSeedService",
+    "GetAddrMessage",
+    "GetDataMessage",
+    "InvMessage",
+    "InventoryType",
+    "JoinAcceptMessage",
+    "JoinMessage",
+    "KeyPair",
+    "Mempool",
+    "Message",
+    "NodeConfig",
+    "P2PNetwork",
+    "PingMessage",
+    "PongMessage",
+    "Transaction",
+    "TransactionValidator",
+    "TxInput",
+    "TxMessage",
+    "TxOutput",
+    "UtxoSet",
+    "ValidationResult",
+    "VerackMessage",
+    "VersionMessage",
+    "sha256_hex",
+    "sign",
+    "verify_signature",
+]

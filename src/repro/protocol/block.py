@@ -1,0 +1,140 @@
+"""Blocks and block headers.
+
+Every block links to its predecessor by hash (Section III of the paper); the
+genesis block is the only block with no predecessor.  Proof-of-work is
+simplified to a difficulty target on the numeric value of the header hash —
+enough to make mining a stochastic race without burning CPU in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.protocol.crypto import double_sha256_hex, sha256_hex
+from repro.protocol.transaction import Transaction
+
+#: Block reward in satoshi (12.5 BTC, the 2016-2020 subsidy era).
+BLOCK_REWARD_SATOSHI = 1_250_000_000
+
+#: Hash value space used by the simplified proof-of-work check.
+HASH_SPACE = 2 ** 256
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Header fields that determine a block's hash."""
+
+    previous_hash: str
+    merkle_root: str
+    timestamp: float
+    nonce: int
+    miner_id: int = -1
+
+    @property
+    def block_hash(self) -> str:
+        """Double SHA-256 of the serialized header (computed once, then cached)."""
+        cached = getattr(self, "_block_hash", None)
+        if cached is None:
+            body = (
+                f"{self.previous_hash}|{self.merkle_root}|{self.timestamp}|"
+                f"{self.nonce}|{self.miner_id}"
+            )
+            cached = double_sha256_hex(body)
+            object.__setattr__(self, "_block_hash", cached)
+        return cached
+
+    def meets_target(self, difficulty_target: int) -> bool:
+        """Simplified proof-of-work check: hash value below the target."""
+        return int(self.block_hash, 16) < difficulty_target
+
+
+def merkle_root(transactions: Sequence[Transaction]) -> str:
+    """Merkle root over transaction ids (pairwise SHA-256 reduction)."""
+    if not transactions:
+        return sha256_hex(b"empty")
+    level = [tx.txid for tx in transactions]
+    while len(level) > 1:
+        if len(level) % 2 == 1:
+            level.append(level[-1])
+        level = [sha256_hex(level[i] + level[i + 1]) for i in range(0, len(level), 2)]
+    return level[0]
+
+
+@dataclass(frozen=True)
+class Block:
+    """A block: a header plus the transactions it confirms."""
+
+    header: BlockHeader
+    transactions: tuple[Transaction, ...]
+    height: int = 0
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise ValueError(f"block height cannot be negative, got {self.height}")
+        if self.height > 0 and not self.transactions:
+            raise ValueError("a non-genesis block must contain at least a coinbase transaction")
+
+    @property
+    def block_hash(self) -> str:
+        """The block's hash (from its header)."""
+        return self.header.block_hash
+
+    @property
+    def previous_hash(self) -> str:
+        """Hash of the predecessor block."""
+        return self.header.previous_hash
+
+    @property
+    def is_genesis(self) -> bool:
+        """True for the unique block with no predecessor."""
+        return self.header.previous_hash == ""
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate serialized size (80-byte header + transactions)."""
+        return 80 + sum(tx.size_bytes for tx in self.transactions)
+
+    @property
+    def txids(self) -> frozenset[str]:
+        """Ids of all transactions confirmed by this block (cached)."""
+        cached = getattr(self, "_txids", None)
+        if cached is None:
+            cached = frozenset(tx.txid for tx in self.transactions)
+            object.__setattr__(self, "_txids", cached)
+        return cached
+
+    def contains(self, txid: str) -> bool:
+        """Whether the block confirms the given transaction id."""
+        return txid in self.txids
+
+    @staticmethod
+    def genesis(timestamp: float = 0.0) -> "Block":
+        """The genesis block shared by every node in a simulation."""
+        header = BlockHeader(
+            previous_hash="",
+            merkle_root=merkle_root(()),
+            timestamp=timestamp,
+            nonce=0,
+            miner_id=-1,
+        )
+        return Block(header=header, transactions=(), height=0)
+
+    @staticmethod
+    def create(
+        previous: "Block",
+        transactions: Sequence[Transaction],
+        *,
+        timestamp: float,
+        nonce: int,
+        miner_id: int,
+    ) -> "Block":
+        """Assemble a block on top of ``previous``."""
+        header = BlockHeader(
+            previous_hash=previous.block_hash,
+            merkle_root=merkle_root(transactions),
+            timestamp=timestamp,
+            nonce=nonce,
+            miner_id=miner_id,
+        )
+        return Block(header=header, transactions=tuple(transactions), height=previous.height + 1)

@@ -1,0 +1,93 @@
+"""Cryptographic primitives (simulation-grade).
+
+The real Bitcoin protocol uses ECDSA over secp256k1.  For propagation-delay
+simulation only two properties of the signature scheme matter:
+
+1. a transaction signed by the owner of an address verifies, and one signed by
+   anyone else does not;
+2. verification has a non-zero CPU cost, which contributes to the relay delay
+   the paper discusses.
+
+Both are preserved by a deterministic HMAC-style construction over SHA-256.
+This module must never be used for real cryptography; it exists so the
+simulator's validation path is faithful without an external dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+
+def sha256_hex(data: bytes | str) -> str:
+    """Hex-encoded SHA-256 of ``data`` (str inputs are UTF-8 encoded)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def double_sha256_hex(data: bytes | str) -> str:
+    """Bitcoin-style double SHA-256, hex encoded."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(hashlib.sha256(data).digest()).hexdigest()
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A simulated keypair.
+
+    The private key is an arbitrary byte string; the public key and the
+    address are derived from it by hashing, mirroring how Bitcoin addresses
+    are derived from public keys.
+    """
+
+    private_key: str
+    public_key: str
+    address: str
+
+    @staticmethod
+    def generate(seed: bytes | str) -> "KeyPair":
+        """Derive a keypair deterministically from a seed.
+
+        Args:
+            seed: unique per-wallet material, e.g. ``f"node-{node_id}-wallet"``.
+        """
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        private_key = hashlib.sha256(b"priv:" + seed).hexdigest()
+        public_key = hashlib.sha256(b"pub:" + bytes.fromhex(private_key)).hexdigest()
+        address = hashlib.sha256(b"addr:" + bytes.fromhex(public_key)).hexdigest()[:40]
+        return KeyPair(private_key=private_key, public_key=public_key, address=address)
+
+
+def sign(private_key: str, message: bytes | str) -> str:
+    """Produce a signature of ``message`` under ``private_key``."""
+    if isinstance(message, str):
+        message = message.encode("utf-8")
+    return hmac.new(bytes.fromhex(private_key), message, hashlib.sha256).hexdigest()
+
+
+def verify_signature(public_key: str, private_key_hint: str, message: bytes | str, signature: str) -> bool:
+    """Verify a signature.
+
+    The simulated scheme cannot verify with the public key alone (there is no
+    real asymmetric math here), so verification recomputes the signature from
+    the private key *hint* carried in the transaction witness and additionally
+    checks that the hint actually corresponds to the claimed public key.  From
+    the simulator's perspective this gives exactly the semantics of ECDSA:
+    only the key owner can produce a witness that validates.
+    """
+    if isinstance(message, str):
+        message = message.encode("utf-8")
+    derived_public = hashlib.sha256(b"pub:" + bytes.fromhex(private_key_hint)).hexdigest()
+    if not hmac.compare_digest(derived_public, public_key):
+        return False
+    expected = hmac.new(bytes.fromhex(private_key_hint), message, hashlib.sha256).hexdigest()
+    return hmac.compare_digest(expected, signature)
+
+
+def address_of_public_key(public_key: str) -> str:
+    """Derive the address corresponding to a public key."""
+    return hashlib.sha256(b"addr:" + bytes.fromhex(public_key)).hexdigest()[:40]

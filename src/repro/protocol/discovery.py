@@ -1,0 +1,132 @@
+"""Peer discovery: DNS seeds and the address book.
+
+Section IV.B of the paper: a node joining for the first time learns about
+available peers from DNS seed services.  Under BCBPT the seed additionally
+ranks the returned peers by geographic proximity to the requester ("DNS
+service nodes should recommend available nodes to the node N based on the
+proximity in the physical geographical location"), because geographic distance
+is usually a decent first approximation of topological distance.  After
+joining, nodes keep discovering peers through the normal ADDR-gossip
+mechanism, modelled here by sampling from the set of currently-online peers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.net.geo import GeoPosition
+
+
+class AddressBook:
+    """A node's view of known peer addresses with basic bookkeeping."""
+
+    def __init__(self, owner_id: int) -> None:
+        self.owner_id = owner_id
+        self._addresses: set[int] = set()
+        self._last_seen: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._addresses
+
+    def add(self, node_id: int, *, seen_at: float = 0.0) -> None:
+        """Record a peer address (the owner itself is never recorded)."""
+        if node_id == self.owner_id:
+            return
+        self._addresses.add(node_id)
+        previous = self._last_seen.get(node_id, -1.0)
+        if seen_at >= previous:
+            self._last_seen[node_id] = seen_at
+
+    def update(self, node_ids: Sequence[int], *, seen_at: float = 0.0) -> None:
+        """Record many peer addresses."""
+        for node_id in node_ids:
+            self.add(node_id, seen_at=seen_at)
+
+    def addresses(self) -> list[int]:
+        """All known addresses, sorted for determinism."""
+        return sorted(self._addresses)
+
+    def last_seen(self, node_id: int) -> Optional[float]:
+        """Most recent time the address was advertised to us."""
+        return self._last_seen.get(node_id)
+
+    def sample(self, rng: np.random.Generator, count: int) -> list[int]:
+        """A uniform random sample of known addresses (without replacement)."""
+        known = self.addresses()
+        if count >= len(known):
+            return known
+        picked = rng.choice(len(known), size=count, replace=False)
+        return [known[i] for i in picked]
+
+
+class DnsSeedService:
+    """The DNS seed used during bootstrap.
+
+    Args:
+        positions: geographic position of every node in the population.
+        rng: random stream used for the vanilla (unranked) seed behaviour.
+        seed_sample_size: how many addresses one DNS query returns.
+    """
+
+    def __init__(
+        self,
+        positions: dict[int, GeoPosition],
+        rng: np.random.Generator,
+        *,
+        seed_sample_size: int = 25,
+    ) -> None:
+        if seed_sample_size <= 0:
+            raise ValueError(f"seed_sample_size must be positive, got {seed_sample_size}")
+        self._positions = positions
+        self._rng = rng
+        self.seed_sample_size = seed_sample_size
+        self._online: set[int] = set()
+        self.queries_served = 0
+
+    # ------------------------------------------------------------- liveness
+    def set_online(self, node_id: int, online: bool) -> None:
+        """Track which nodes the seed may return (only reachable ones)."""
+        if online:
+            self._online.add(node_id)
+        else:
+            self._online.discard(node_id)
+
+    def online_count(self) -> int:
+        """Number of nodes the seed currently considers reachable."""
+        return len(self._online)
+
+    # -------------------------------------------------------------- queries
+    def query(self, requester_id: int) -> list[int]:
+        """Vanilla Bitcoin behaviour: a random sample of reachable peers."""
+        self.queries_served += 1
+        candidates = sorted(peer for peer in self._online if peer != requester_id)
+        if len(candidates) <= self.seed_sample_size:
+            return candidates
+        picked = self._rng.choice(len(candidates), size=self.seed_sample_size, replace=False)
+        return [candidates[i] for i in picked]
+
+    def query_proximity_ranked(self, requester_id: int) -> list[int]:
+        """BCBPT bootstrap behaviour (Section IV.B): peers ranked by geographic distance.
+
+        The ranking uses *geographic* distance because that is all a DNS seed
+        can know; the requesting node then refines the ordering with actual
+        ping measurements.
+        """
+        self.queries_served += 1
+        requester_position = self._positions.get(requester_id)
+        candidates = [peer for peer in self._online if peer != requester_id]
+        if requester_position is None:
+            return sorted(candidates)[: self.seed_sample_size]
+        ranked = sorted(
+            candidates,
+            key=lambda peer: (
+                requester_position.distance_km(self._positions[peer]),
+                peer,
+            ),
+        )
+        return ranked[: self.seed_sample_size]

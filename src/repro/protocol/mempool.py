@@ -1,0 +1,123 @@
+"""Per-node pool of unconfirmed transactions.
+
+A node's mempool holds transactions it has verified but that are not yet
+confirmed on its best chain.  It also tracks which outpoints those pending
+transactions spend so that conflicting (double-spending) transactions can be
+detected at admission time — the "first seen" rule Bitcoin nodes apply and the
+rule the double-spend experiment relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.protocol.transaction import Transaction
+
+
+class Mempool:
+    """Set of verified, unconfirmed transactions with conflict tracking."""
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        if max_size is not None and max_size <= 0:
+            raise ValueError(f"max_size must be positive or None, got {max_size}")
+        self.max_size = max_size
+        self._transactions: dict[str, Transaction] = {}
+        self._spent_outpoints: dict[tuple[str, int], str] = {}
+        self._arrival_times: dict[str, float] = {}
+
+    # ---------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __contains__(self, txid: str) -> bool:
+        return txid in self._transactions
+
+    def get(self, txid: str) -> Optional[Transaction]:
+        """The transaction with this id, or None."""
+        return self._transactions.get(txid)
+
+    def transactions(self) -> Iterator[Transaction]:
+        """Iterate over pending transactions in arrival order."""
+        for txid in sorted(self._arrival_times, key=self._arrival_times.get):
+            yield self._transactions[txid]
+
+    def arrival_time(self, txid: str) -> Optional[float]:
+        """When the transaction was admitted (None if unknown)."""
+        return self._arrival_times.get(txid)
+
+    def is_full(self) -> bool:
+        """Whether the pool has reached its size limit."""
+        return self.max_size is not None and len(self._transactions) >= self.max_size
+
+    # -------------------------------------------------------------- conflict
+    def conflicting_txid(self, tx: Transaction) -> Optional[str]:
+        """Id of a pending transaction that spends one of ``tx``'s inputs."""
+        for tx_input in tx.inputs:
+            existing = self._spent_outpoints.get(tx_input.outpoint)
+            if existing is not None and existing != tx.txid:
+                return existing
+        return None
+
+    def conflicts(self, tx: Transaction) -> bool:
+        """Whether admitting ``tx`` would double-spend a pending transaction."""
+        return self.conflicting_txid(tx) is not None
+
+    # -------------------------------------------------------------- mutation
+    def add(self, tx: Transaction, *, arrival_time: float = 0.0) -> bool:
+        """Admit a transaction.
+
+        Returns:
+            True if the transaction was added; False if it was already present,
+            conflicts with a pending transaction (first-seen wins), or the pool
+            is full.
+        """
+        if tx.txid in self._transactions:
+            return False
+        if self.is_full():
+            return False
+        if self.conflicts(tx):
+            return False
+        self._transactions[tx.txid] = tx
+        self._arrival_times[tx.txid] = arrival_time
+        if not tx.is_coinbase:
+            for tx_input in tx.inputs:
+                self._spent_outpoints[tx_input.outpoint] = tx.txid
+        return True
+
+    def remove(self, txid: str) -> Optional[Transaction]:
+        """Remove a transaction (e.g. once confirmed); returns it if present."""
+        tx = self._transactions.pop(txid, None)
+        if tx is None:
+            return None
+        self._arrival_times.pop(txid, None)
+        if not tx.is_coinbase:
+            for tx_input in tx.inputs:
+                if self._spent_outpoints.get(tx_input.outpoint) == txid:
+                    del self._spent_outpoints[tx_input.outpoint]
+        return tx
+
+    def remove_confirmed(self, txids: set[str]) -> int:
+        """Drop every pending transaction whose id is in ``txids``.
+
+        Returns:
+            Number of transactions removed.
+        """
+        removed = 0
+        for txid in list(self._transactions):
+            if txid in txids:
+                self.remove(txid)
+                removed += 1
+        return removed
+
+    def select_for_block(self, max_count: int) -> list[Transaction]:
+        """Oldest-first selection of up to ``max_count`` transactions for mining."""
+        if max_count <= 0:
+            return []
+        ordered = sorted(self._transactions.values(), key=lambda tx: self._arrival_times[tx.txid])
+        return ordered[:max_count]
+
+    def clear(self) -> None:
+        """Empty the pool."""
+        self._transactions.clear()
+        self._spent_outpoints.clear()
+        self._arrival_times.clear()

@@ -1,0 +1,174 @@
+"""The P2P message vocabulary.
+
+These are the messages exchanged between simulated peers.  The standard
+Bitcoin messages follow Fig. 1 of the paper (INV announcing a transaction,
+GETDATA requesting it, TX delivering it) plus the handshake, address gossip
+and ping keep-alive.  Two extra messages implement the clustering protocols'
+control plane: ``JOIN`` / ``JOIN_ACCEPT`` (a node asking the closest
+discovered node to admit it to its cluster, Section IV.B) and
+``CLUSTER_MEMBERS`` (the admitting node returning the list of IPs in its
+cluster so the joiner can connect to them).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.protocol.block import Block
+from repro.protocol.transaction import Transaction
+
+_message_counter = itertools.count()
+
+
+class InventoryType(enum.Enum):
+    """Types of objects announced in INV / requested in GETDATA."""
+
+    TRANSACTION = "tx"
+    BLOCK = "block"
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all protocol messages.
+
+    Attributes:
+        sender: node id of the sending peer.
+        message_id: unique id used for tracing and de-duplication in tests.
+    """
+
+    sender: int
+    message_id: int = field(default_factory=lambda: next(_message_counter), compare=False)
+
+    #: Bitcoin wire command name; overridden by each concrete message.
+    command: str = field(default="", init=False, repr=False)
+
+    def wire_payload(self) -> Optional[object]:
+        """Payload descriptor handed to :func:`repro.net.message.message_size_bytes`."""
+        return None
+
+
+@dataclass(frozen=True)
+class VersionMessage(Message):
+    """Handshake: advertises protocol version and listening address."""
+
+    protocol_version: int = 70015
+    user_agent: str = "/repro:1.0/"
+    command: str = field(default="version", init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class VerackMessage(Message):
+    """Handshake acknowledgement."""
+
+    command: str = field(default="verack", init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class PingMessage(Message):
+    """Keep-alive / latency probe."""
+
+    nonce: int = 0
+    command: str = field(default="ping", init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class PongMessage(Message):
+    """Reply to a ping, echoing its nonce."""
+
+    nonce: int = 0
+    command: str = field(default="pong", init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class GetAddrMessage(Message):
+    """Request for known peer addresses."""
+
+    command: str = field(default="getaddr", init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class AddrMessage(Message):
+    """Gossip of known peer addresses (node ids in the simulation)."""
+
+    addresses: tuple[int, ...] = ()
+    command: str = field(default="addr", init=False, repr=False)
+
+    def wire_payload(self) -> int:
+        return len(self.addresses)
+
+
+@dataclass(frozen=True)
+class InvMessage(Message):
+    """Announcement of available objects by hash (Fig. 1, step 1)."""
+
+    inventory_type: InventoryType = InventoryType.TRANSACTION
+    hashes: tuple[str, ...] = ()
+    command: str = field(default="inv", init=False, repr=False)
+
+    def wire_payload(self) -> int:
+        return len(self.hashes)
+
+
+@dataclass(frozen=True)
+class GetDataMessage(Message):
+    """Request for the full data of announced objects (Fig. 1, step 2)."""
+
+    inventory_type: InventoryType = InventoryType.TRANSACTION
+    hashes: tuple[str, ...] = ()
+    command: str = field(default="getdata", init=False, repr=False)
+
+    def wire_payload(self) -> int:
+        return len(self.hashes)
+
+
+@dataclass(frozen=True)
+class TxMessage(Message):
+    """Delivery of a full transaction (Fig. 1, step 3)."""
+
+    transaction: Optional[Transaction] = None
+    command: str = field(default="tx", init=False, repr=False)
+
+    def wire_payload(self) -> Optional[int]:
+        return self.transaction.size_bytes if self.transaction is not None else None
+
+
+@dataclass(frozen=True)
+class BlockMessage(Message):
+    """Delivery of a full block."""
+
+    block: Optional[Block] = None
+    command: str = field(default="block", init=False, repr=False)
+
+    def wire_payload(self) -> Optional[int]:
+        return self.block.size_bytes if self.block is not None else None
+
+
+@dataclass(frozen=True)
+class JoinMessage(Message):
+    """Cluster-join request sent to the closest discovered node (Section IV.B)."""
+
+    measured_rtt_s: float = 0.0
+    command: str = field(default="join", init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class JoinAcceptMessage(Message):
+    """Positive response to a JOIN request."""
+
+    cluster_id: int = -1
+    command: str = field(default="join_accept", init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class ClusterMembersMessage(Message):
+    """List of node ids belonging to the responder's cluster (Section IV.B)."""
+
+    cluster_id: int = -1
+    members: tuple[int, ...] = ()
+    command: str = field(default="cluster_members", init=False, repr=False)
+
+    def wire_payload(self) -> int:
+        return len(self.members)

@@ -1,0 +1,153 @@
+"""Simplified proof-of-work mining.
+
+The paper's experiments measure transaction propagation, not mining, but the
+double-spend and fork analyses need blocks to be produced.  Mining is
+modelled the way analytical Bitcoin papers model it: block discovery on the
+whole network is a Poisson process with a configurable mean interval
+(10 minutes in Bitcoin), and the miner that finds each block is drawn with
+probability proportional to its hash-power share.  The winning miner
+assembles a block from its own mempool, so a transaction that has not yet
+propagated to the winner does not get confirmed — which is exactly the
+coupling between propagation delay and double-spend risk the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.protocol.block import BLOCK_REWARD_SATOSHI, Block
+from repro.protocol.node import BitcoinNode
+from repro.protocol.transaction import Transaction
+from repro.sim.engine import Simulator
+from repro.sim.process import Timeout
+
+#: Bitcoin's target average block interval in seconds.
+DEFAULT_BLOCK_INTERVAL_S = 600.0
+
+
+@dataclass(frozen=True)
+class MinerProfile:
+    """A mining participant and its share of the total hash power."""
+
+    node_id: int
+    hash_power: float
+
+    def __post_init__(self) -> None:
+        if self.hash_power < 0:
+            raise ValueError(f"hash power cannot be negative, got {self.hash_power}")
+
+
+class MiningProcess:
+    """Poisson block production across a set of miners.
+
+    Args:
+        simulator: the event engine.
+        nodes: id -> node mapping for all miners (and any node that may win).
+        miners: hash-power profiles; shares are normalised internally.
+        rng: random stream for block intervals and winner selection.
+        block_interval_s: network-wide mean time between blocks.
+        max_block_transactions: cap on transactions per block.
+        on_block_mined: optional callback ``(block, miner_id)`` fired after
+            the winning miner accepts its own block (before propagation).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        nodes: dict[int, BitcoinNode],
+        miners: Sequence[MinerProfile],
+        rng: np.random.Generator,
+        *,
+        block_interval_s: float = DEFAULT_BLOCK_INTERVAL_S,
+        max_block_transactions: int = 2000,
+        on_block_mined: Optional[Callable[[Block, int], None]] = None,
+    ) -> None:
+        if not miners:
+            raise ValueError("at least one miner is required")
+        if block_interval_s <= 0:
+            raise ValueError(f"block interval must be positive, got {block_interval_s}")
+        total_power = sum(m.hash_power for m in miners)
+        if total_power <= 0:
+            raise ValueError("total hash power must be positive")
+        self._simulator = simulator
+        self._nodes = nodes
+        self._miners = list(miners)
+        self._shares = np.array([m.hash_power / total_power for m in self._miners])
+        self._rng = rng
+        self.block_interval_s = float(block_interval_s)
+        self.max_block_transactions = int(max_block_transactions)
+        self._on_block_mined = on_block_mined
+        self.blocks_mined = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin producing blocks."""
+        if self._running:
+            raise RuntimeError("mining process is already running")
+        self._running = True
+        self._simulator.spawn(self._mine_forever(), name="mining")
+
+    def stop(self) -> None:
+        """Stop after the next scheduled block attempt."""
+        self._running = False
+
+    def _mine_forever(self):
+        while self._running:
+            interval = float(self._rng.exponential(self.block_interval_s))
+            yield Timeout(max(interval, 1e-6))
+            if not self._running:
+                return
+            self.mine_one_block()
+
+    def pick_winner(self) -> MinerProfile:
+        """Choose the miner of the next block, weighted by hash power."""
+        index = int(self._rng.choice(len(self._miners), p=self._shares))
+        return self._miners[index]
+
+    def mine_one_block(self, *, winner_id: Optional[int] = None) -> Optional[Block]:
+        """Produce one block immediately.
+
+        Args:
+            winner_id: force a specific miner to win (used by attack
+                experiments); defaults to a hash-power-weighted draw.
+
+        Returns:
+            The mined block, or None if the winner is offline/unknown.
+        """
+        if winner_id is None:
+            winner_id = self.pick_winner().node_id
+        miner = self._nodes.get(winner_id)
+        if miner is None or miner.network is None or not miner.network.is_online(winner_id):
+            return None
+        selected = miner.mempool.select_for_block(self.max_block_transactions - 1)
+        coinbase = Transaction.coinbase(
+            miner.keypair.address,
+            BLOCK_REWARD_SATOSHI,
+            created_at=self._simulator.now,
+            tag=f"{winner_id}:{miner.blockchain.height + 1}:{self.blocks_mined}",
+        )
+        block = Block.create(
+            miner.blockchain.tip,
+            [coinbase, *selected],
+            timestamp=self._simulator.now,
+            nonce=self.blocks_mined,
+            miner_id=winner_id,
+        )
+        accepted = miner.accept_block(block, origin_peer=None)
+        if not accepted:
+            return None
+        self.blocks_mined += 1
+        if self._on_block_mined is not None:
+            self._on_block_mined(block, winner_id)
+        return block
+
+
+def equal_hash_power(node_ids: Sequence[int]) -> list[MinerProfile]:
+    """Convenience: give every listed node the same hash power."""
+    if not node_ids:
+        return []
+    share = 1.0 / len(node_ids)
+    return [MinerProfile(node_id=node_id, hash_power=share) for node_id in node_ids]

@@ -1,0 +1,261 @@
+"""The P2P network fabric: delivers messages between nodes with realistic delays.
+
+:class:`P2PNetwork` is the glue between the simulation kernel, the network
+substrate and the protocol nodes:
+
+* it owns the :class:`~repro.net.topology.OverlayTopology` (who is connected
+  to whom) and the node registry;
+* ``send()`` computes the per-message delivery delay from the link model and
+  schedules the receiver's handler on the event engine;
+* ``connect()`` / ``disconnect()`` manage links, charging a handshake
+  round-trip for new connections;
+* it keeps global message counters (by command) that the overhead experiment
+  reads.
+
+Messages sent to offline or disconnected peers are silently dropped, the same
+way a TCP connection reset would surface to the Bitcoin application layer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.net.geo import GeoPosition
+from repro.net.link import Link, LinkDelayCalculator
+from repro.net.message import message_size_bytes
+from repro.net.topology import OverlayTopology
+from repro.protocol.messages import Message
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.protocol.node import BitcoinNode
+
+
+class P2PNetwork:
+    """Message fabric connecting simulated Bitcoin nodes.
+
+    Args:
+        simulator: the discrete-event engine.
+        delay_calculator: per-message delay model.
+        topology: overlay connection graph; a fresh one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        delay_calculator: LinkDelayCalculator,
+        topology: Optional[OverlayTopology] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.delays = delay_calculator
+        self.topology = topology if topology is not None else OverlayTopology()
+        self._nodes: dict[int, "BitcoinNode"] = {}
+        self._positions: dict[int, GeoPosition] = {}
+        self._online: dict[int, bool] = {}
+        self.messages_sent: Counter[str] = Counter()
+        self.bytes_sent: Counter[str] = Counter()
+        self.messages_dropped = 0
+
+    # ----------------------------------------------------------------- nodes
+    def register_node(self, node: "BitcoinNode") -> None:
+        """Add a node to the network (initially online, with no connections)."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} is already registered")
+        self._nodes[node.node_id] = node
+        self._positions[node.node_id] = node.position
+        self._online[node.node_id] = True
+        self.topology.add_node(node.node_id)
+
+    def node(self, node_id: int) -> "BitcoinNode":
+        """Look up a registered node."""
+        return self._nodes[node_id]
+
+    def nodes(self) -> list["BitcoinNode"]:
+        """All registered nodes (online or not)."""
+        return list(self._nodes.values())
+
+    def node_ids(self) -> list[int]:
+        """Ids of all registered nodes."""
+        return list(self._nodes.keys())
+
+    def position(self, node_id: int) -> GeoPosition:
+        """Geographic position of a node."""
+        return self._positions[node_id]
+
+    @property
+    def node_count(self) -> int:
+        """Number of registered nodes."""
+        return len(self._nodes)
+
+    # ---------------------------------------------------------------- online
+    def is_online(self, node_id: int) -> bool:
+        """Whether the node is currently online."""
+        return self._online.get(node_id, False)
+
+    def online_node_ids(self) -> list[int]:
+        """Ids of nodes currently online."""
+        return [node_id for node_id, online in self._online.items() if online]
+
+    def set_online(self, node_id: int, online: bool) -> None:
+        """Mark a node online/offline; going offline tears down its links."""
+        if node_id not in self._nodes:
+            raise KeyError(f"unknown node {node_id}")
+        self._online[node_id] = online
+        if not online:
+            for peer in list(self.topology.neighbors(node_id)):
+                self.disconnect(node_id, peer)
+
+    # ----------------------------------------------------------- connections
+    def connect(
+        self,
+        node_a: int,
+        node_b: int,
+        *,
+        is_cluster_link: bool = False,
+        is_long_link: bool = False,
+    ) -> bool:
+        """Establish a connection between two online nodes.
+
+        Returns:
+            True if a new link was created; False if the nodes were already
+            connected, either is offline, or either is at its connection cap.
+        """
+        if node_a == node_b:
+            return False
+        if not (self.is_online(node_a) and self.is_online(node_b)):
+            return False
+        if self.topology.are_connected(node_a, node_b):
+            return False
+        if not (self.topology.can_accept(node_a) and self.topology.can_accept(node_b)):
+            return False
+        link = Link.make(
+            node_a,
+            node_b,
+            established_at=self.simulator.now,
+            is_cluster_link=is_cluster_link,
+            is_long_link=is_long_link,
+        )
+        self.topology.connect(link)
+        # Account for the VERSION/VERACK handshake traffic.
+        self.messages_sent["version"] += 2
+        self.messages_sent["verack"] += 2
+        self.bytes_sent["version"] += 2 * message_size_bytes("version")
+        self.bytes_sent["verack"] += 2 * message_size_bytes("verack")
+        self._nodes[node_a].on_connected(node_b)
+        self._nodes[node_b].on_connected(node_a)
+        return True
+
+    def disconnect(self, node_a: int, node_b: int) -> bool:
+        """Tear down the connection between two nodes if it exists."""
+        link = self.topology.disconnect(node_a, node_b)
+        if link is None:
+            return False
+        if node_a in self._nodes:
+            self._nodes[node_a].on_disconnected(node_b)
+        if node_b in self._nodes:
+            self._nodes[node_b].on_disconnected(node_a)
+        return True
+
+    def neighbors(self, node_id: int) -> list[int]:
+        """Current connections of a node."""
+        return self.topology.neighbors(node_id)
+
+    # -------------------------------------------------------------- messages
+    def send(self, sender_id: int, receiver_id: int, message: Message) -> bool:
+        """Send a protocol message over an existing connection.
+
+        The message is delivered after the link-model delay, unless either
+        endpoint goes offline or the link disappears in the meantime (the
+        message is then dropped, mirroring a broken TCP connection).
+
+        Returns:
+            True if the message was scheduled, False if it was dropped
+            immediately (no connection or endpoint offline).
+        """
+        if not self.topology.are_connected(sender_id, receiver_id):
+            self.messages_dropped += 1
+            return False
+        if not (self.is_online(sender_id) and self.is_online(receiver_id)):
+            self.messages_dropped += 1
+            return False
+        delay = self.delays.message_delay_s(
+            sender_id,
+            self._positions[sender_id],
+            receiver_id,
+            self._positions[receiver_id],
+            message.command,
+            message.wire_payload(),
+        )
+        self.messages_sent[message.command] += 1
+        self.bytes_sent[message.command] += message_size_bytes(
+            message.command, message.wire_payload()
+        )
+        self.simulator.schedule(
+            delay,
+            lambda: self._deliver(sender_id, receiver_id, message),
+            label=f"deliver:{message.command}",
+        )
+        return True
+
+    def broadcast(self, sender_id: int, message: Message, *, exclude: Optional[set[int]] = None) -> int:
+        """Send ``message`` to every neighbour of ``sender_id``.
+
+        Returns:
+            Number of copies scheduled.
+        """
+        excluded = exclude or set()
+        sent = 0
+        for peer in self.neighbors(sender_id):
+            if peer in excluded:
+                continue
+            if self.send(sender_id, peer, message):
+                sent += 1
+        return sent
+
+    def _deliver(self, sender_id: int, receiver_id: int, message: Message) -> None:
+        if not self.is_online(receiver_id):
+            self.messages_dropped += 1
+            return
+        if not self.topology.are_connected(sender_id, receiver_id):
+            self.messages_dropped += 1
+            return
+        self.simulator.tracer.record(
+            self.simulator.now, "message", message.command, (sender_id, receiver_id)
+        )
+        self._nodes[receiver_id].handle_message(sender_id, message)
+
+    # ------------------------------------------------------------------ ping
+    def measure_rtt(self, node_a: int, node_b: int) -> float:
+        """One stochastic ping RTT sample between two nodes (no messages sent).
+
+        Used by clustering policies during distance calculation; the message
+        cost of pinging is accounted separately via ``record_ping_exchange``.
+        """
+        return self.delays.ping_rtt_s(
+            node_a, self._positions[node_a], node_b, self._positions[node_b]
+        )
+
+    def base_rtt(self, node_a: int, node_b: int) -> float:
+        """Deterministic (jitter-free) RTT between two nodes."""
+        return self.delays.base_rtt_s(
+            node_a, self._positions[node_a], node_b, self._positions[node_b]
+        )
+
+    def record_ping_exchange(self, count: int = 1) -> None:
+        """Account for ``count`` ping/pong exchanges in the traffic counters."""
+        if count < 0:
+            raise ValueError(f"count cannot be negative, got {count}")
+        self.messages_sent["ping"] += count
+        self.messages_sent["pong"] += count
+        self.bytes_sent["ping"] += count * message_size_bytes("ping")
+        self.bytes_sent["pong"] += count * message_size_bytes("pong")
+
+    # ------------------------------------------------------------ statistics
+    def total_messages(self) -> int:
+        """Total protocol messages sent so far."""
+        return sum(self.messages_sent.values())
+
+    def total_bytes(self) -> int:
+        """Total bytes sent so far."""
+        return sum(self.bytes_sent.values())

@@ -1,0 +1,496 @@
+"""The Bitcoin node: relay state machine, wallet, mempool and chain.
+
+Every peer in the simulation runs this class.  Its behaviour follows Fig. 1 of
+the paper and the standard Bitcoin relay rules:
+
+1. on creating or fully verifying a transaction, announce it to every
+   neighbour with an ``INV`` (never push the full transaction unsolicited);
+2. on receiving an ``INV`` for an unknown transaction, reply with ``GETDATA``;
+3. on receiving ``GETDATA``, send the full ``TX``;
+4. on receiving a ``TX``, verify it against the local ledger (charging the
+   verification cost as a delay) and, if valid, go to step 1.
+
+Blocks follow the same INV/GETDATA/BLOCK pattern.  The node also answers
+``GETADDR`` with a sample of known addresses, responds to ``PING``, and
+forwards cluster-control messages (``JOIN``, ``CLUSTER_MEMBERS``) to whatever
+neighbour-selection policy is attached to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, TYPE_CHECKING
+
+from repro.protocol.blockchain import Blockchain
+from repro.protocol.block import Block
+from repro.protocol.crypto import KeyPair
+from repro.protocol.mempool import Mempool
+from repro.protocol.messages import (
+    AddrMessage,
+    BlockMessage,
+    ClusterMembersMessage,
+    GetAddrMessage,
+    GetDataMessage,
+    InvMessage,
+    InventoryType,
+    JoinAcceptMessage,
+    JoinMessage,
+    Message,
+    PingMessage,
+    PongMessage,
+    TxMessage,
+    VerackMessage,
+    VersionMessage,
+)
+from repro.protocol.transaction import Transaction
+from repro.protocol.utxo import UtxoSet
+from repro.protocol.validation import TransactionValidator, ValidationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.net.geo import GeoPosition
+    from repro.protocol.network import P2PNetwork
+
+
+class ClusterMessageListener(Protocol):
+    """Interface a clustering policy implements to receive cluster-control messages."""
+
+    def on_join_request(self, node: "BitcoinNode", sender: int, message: JoinMessage) -> None:
+        """Handle a JOIN request arriving at ``node``."""
+
+    def on_join_accept(self, node: "BitcoinNode", sender: int, message: JoinAcceptMessage) -> None:
+        """Handle a JOIN_ACCEPT arriving at ``node``."""
+
+    def on_cluster_members(
+        self, node: "BitcoinNode", sender: int, message: ClusterMembersMessage
+    ) -> None:
+        """Handle a CLUSTER_MEMBERS list arriving at ``node``."""
+
+
+@dataclass
+class NodeConfig:
+    """Tunable per-node behaviour.
+
+    Attributes:
+        max_outbound: outbound connections a node tries to maintain (Bitcoin
+            Core's default is 8).
+        max_connections: hard cap including inbound connections.
+        addr_sample_size: how many addresses to return to a GETADDR.
+        relay_transactions: whether the node relays transactions at all
+            (miners and ordinary nodes do; a measuring node may not).
+        verification_enabled: whether to charge the verification delay before
+            relaying (the paper's baseline behaviour; pipelined relay per
+            Stathakopoulou'15 can be modelled by disabling it).
+    """
+
+    max_outbound: int = 8
+    max_connections: int = 125
+    addr_sample_size: int = 23
+    relay_transactions: bool = True
+    verification_enabled: bool = True
+
+
+@dataclass
+class NodeStatistics:
+    """Counters a node keeps about its own activity."""
+
+    transactions_created: int = 0
+    transactions_accepted: int = 0
+    transactions_rejected: int = 0
+    transactions_relayed: int = 0
+    blocks_accepted: int = 0
+    invs_received: int = 0
+    getdata_sent: int = 0
+    pings_received: int = 0
+    duplicate_invs: int = 0
+
+
+class BitcoinNode:
+    """A simulated Bitcoin peer.
+
+    Args:
+        node_id: unique integer id.
+        position: geographic position (drives link latency).
+        network: the message fabric; assigned via :meth:`attach` or by passing
+            it here.
+        config: behavioural knobs.
+        validator: transaction/block validator (shared across nodes is fine —
+            it is stateless apart from its cost model).
+        keypair: the node's wallet key; generated from the node id if omitted.
+        genesis: genesis block shared by the whole network.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: "GeoPosition",
+        *,
+        network: Optional["P2PNetwork"] = None,
+        config: Optional[NodeConfig] = None,
+        validator: Optional[TransactionValidator] = None,
+        keypair: Optional[KeyPair] = None,
+        genesis: Optional[Block] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.network = network
+        self.config = config if config is not None else NodeConfig()
+        self.validator = validator if validator is not None else TransactionValidator()
+        self.keypair = keypair if keypair is not None else KeyPair.generate(f"node-{node_id}-wallet")
+        self.blockchain = Blockchain(genesis)
+        self.mempool = Mempool()
+        self.stats = NodeStatistics()
+
+        #: Confirmed UTXO state; kept incrementally in sync with the best chain.
+        self.utxo = self.blockchain.utxo_set()
+        #: Transaction ids this node has seen (announced, requested or accepted).
+        self.known_transactions: set[str] = set()
+        #: Block hashes this node has seen.
+        self.known_blocks: set[str] = {self.blockchain.genesis.block_hash}
+        #: Transaction ids currently requested but not yet received.
+        self._pending_tx_requests: set[str] = set()
+        self._pending_block_requests: set[str] = set()
+        #: Peer addresses learned through ADDR gossip and the DNS seed.
+        self.address_book: set[int] = set()
+        #: Time each accepted transaction was first accepted locally.
+        self.transaction_accept_times: dict[str, float] = {}
+
+        #: External observers notified when a transaction is accepted locally.
+        self.transaction_listeners: list[Callable[[int, Transaction, float], None]] = []
+        #: External observers notified when this node sends an INV for a tx.
+        self.announcement_listeners: list[Callable[[int, str, float], None]] = []
+        #: Clustering policy hook for JOIN / CLUSTER_MEMBERS traffic.
+        self.cluster_listener: Optional[ClusterMessageListener] = None
+
+    # -------------------------------------------------------------- plumbing
+    def attach(self, network: "P2PNetwork") -> None:
+        """Associate the node with a network and register it."""
+        self.network = network
+        network.register_node(self)
+
+    def _require_network(self) -> "P2PNetwork":
+        if self.network is None:
+            raise RuntimeError(f"node {self.node_id} is not attached to a network")
+        return self.network
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._require_network().simulator.now
+
+    def neighbors(self) -> list[int]:
+        """Ids of currently connected peers."""
+        return self._require_network().neighbors(self.node_id)
+
+    # ----------------------------------------------------- connection events
+    def on_connected(self, peer_id: int) -> None:
+        """Called by the network when a connection to ``peer_id`` is established."""
+        self.address_book.add(peer_id)
+
+    def on_disconnected(self, peer_id: int) -> None:
+        """Called by the network when the connection to ``peer_id`` is torn down."""
+        # The address stays in the address book; only the live link is gone.
+
+    # --------------------------------------------------------------- wallet
+    def spendable_outputs(self) -> list[tuple[str, int, int]]:
+        """``(txid, index, value)`` triples this node's wallet can spend.
+
+        Outputs already spent by this node's own pending (mempool)
+        transactions are excluded, so the wallet never double-spends itself.
+        """
+        pending_spends = {
+            tx_input.outpoint
+            for pending in self.mempool.transactions()
+            for tx_input in pending.inputs
+        }
+        return [
+            (entry.txid, entry.index, entry.value)
+            for entry in self.utxo.spendable_by(self.keypair.address)
+            if entry.outpoint not in pending_spends
+        ]
+
+    def balance(self) -> int:
+        """Confirmed wallet balance in satoshi."""
+        return self.utxo.balance(self.keypair.address)
+
+    def create_transaction(
+        self,
+        destinations: list[tuple[str, int]],
+        *,
+        broadcast: bool = True,
+    ) -> Transaction:
+        """Create, sign, accept and (optionally) announce a payment.
+
+        Raises:
+            ValueError: if the wallet cannot cover the requested amount.
+        """
+        total_needed = sum(value for _, value in destinations)
+        selected: list[tuple[str, int, int]] = []
+        gathered = 0
+        for candidate in self.spendable_outputs():
+            selected.append(candidate)
+            gathered += candidate[2]
+            if gathered >= total_needed:
+                break
+        if gathered < total_needed:
+            raise ValueError(
+                f"node {self.node_id} cannot fund {total_needed} satoshi (balance {gathered})"
+            )
+        tx = Transaction.create_signed(
+            self.keypair, selected, destinations, created_at=self.now
+        )
+        self.stats.transactions_created += 1
+        self.accept_transaction(tx, origin_peer=None)
+        if broadcast:
+            self.announce_transaction(tx.txid)
+        return tx
+
+    # ------------------------------------------------------------ tx intake
+    def accept_transaction(self, tx: Transaction, *, origin_peer: Optional[int]) -> ValidationResult:
+        """Validate a transaction and admit it to the mempool if valid.
+
+        Returns the validation result; listeners fire only on acceptance.
+        """
+        self.known_transactions.add(tx.txid)
+        self._pending_tx_requests.discard(tx.txid)
+        result = self.validator.validate_transaction(tx, self._effective_utxo_for(tx))
+        if not result.valid:
+            self.stats.transactions_rejected += 1
+            return result
+        if self.blockchain.contains_transaction(tx.txid):
+            return result
+        if not self.mempool.add(tx, arrival_time=self.now):
+            # Conflict with a first-seen transaction or duplicate.
+            self.stats.transactions_rejected += 1
+            return ValidationResult(False, None, result.verification_cost_s)
+        self.stats.transactions_accepted += 1
+        self.transaction_accept_times[tx.txid] = self.now
+        for listener in self.transaction_listeners:
+            listener(self.node_id, tx, self.now)
+        return result
+
+    def _effective_utxo_for(self, tx: Transaction) -> UtxoSet:
+        """Ledger view used for validating an incoming transaction.
+
+        Unconfirmed parent outputs in the mempool are visible (Bitcoin relays
+        chains of unconfirmed transactions), so the confirmed UTXO set is
+        extended with mempool outputs when needed.
+        """
+        needs_mempool_parents = any(
+            tx_input.outpoint not in self.utxo and tx_input.prev_txid in self.mempool
+            for tx_input in tx.inputs
+        )
+        if not needs_mempool_parents:
+            return self.utxo
+        extended = self.utxo.copy()
+        for pending in self.mempool.transactions():
+            if extended.can_apply(pending):
+                extended.apply_transaction(pending)
+        return extended
+
+    def announce_transaction(self, txid: str, *, exclude: Optional[set[int]] = None) -> int:
+        """Send an INV for ``txid`` to every neighbour (minus ``exclude``)."""
+        network = self._require_network()
+        message = InvMessage(
+            sender=self.node_id,
+            inventory_type=InventoryType.TRANSACTION,
+            hashes=(txid,),
+        )
+        count = network.broadcast(self.node_id, message, exclude=exclude)
+        for listener in self.announcement_listeners:
+            listener(self.node_id, txid, self.now)
+        return count
+
+    def announce_block(self, block_hash: str, *, exclude: Optional[set[int]] = None) -> int:
+        """Send an INV for a block to every neighbour (minus ``exclude``)."""
+        network = self._require_network()
+        message = InvMessage(
+            sender=self.node_id,
+            inventory_type=InventoryType.BLOCK,
+            hashes=(block_hash,),
+        )
+        return network.broadcast(self.node_id, message, exclude=exclude)
+
+    # --------------------------------------------------------- block intake
+    def accept_block(self, block: Block, *, origin_peer: Optional[int]) -> bool:
+        """Validate and store a block; relays it onwards when accepted."""
+        self.known_blocks.add(block.block_hash)
+        self._pending_block_requests.discard(block.block_hash)
+        if self.blockchain.has_block(block.block_hash):
+            return False
+        if not self.blockchain.has_block(block.previous_hash):
+            # Parent unknown: request it and stash nothing (simple policy).
+            if origin_peer is not None:
+                self._request_blocks(origin_peer, (block.previous_hash,))
+            return False
+        parent = self.blockchain.get_block(block.previous_hash)
+        parent_utxo = self._utxo_as_of(parent)
+        result = self.validator.validate_block(block, parent, parent_utxo)
+        if not result.valid:
+            return False
+        tip_changed = self.blockchain.add_block(block, observed_at=self.now)
+        self.stats.blocks_accepted += 1
+        if tip_changed:
+            self.utxo = self.blockchain.utxo_set()
+            self.mempool.remove_confirmed(block.txids)
+        exclude = {origin_peer} if origin_peer is not None else None
+        self.announce_block(block.block_hash, exclude=exclude)
+        return True
+
+    def _utxo_as_of(self, block: Block) -> UtxoSet:
+        """UTXO state after applying the chain ending at ``block``."""
+        utxo = UtxoSet()
+        for ancestor in self.blockchain.chain_to(block.block_hash):
+            for tx in ancestor.transactions:
+                utxo.apply_transaction(tx, block_hash=ancestor.block_hash)
+        return utxo
+
+    # -------------------------------------------------------- message intake
+    def handle_message(self, sender: int, message: Message) -> None:
+        """Entry point for every delivered protocol message."""
+        if isinstance(message, InvMessage):
+            self._handle_inv(sender, message)
+        elif isinstance(message, GetDataMessage):
+            self._handle_getdata(sender, message)
+        elif isinstance(message, TxMessage):
+            self._handle_tx(sender, message)
+        elif isinstance(message, BlockMessage):
+            self._handle_block(sender, message)
+        elif isinstance(message, PingMessage):
+            self.stats.pings_received += 1
+            self._require_network().send(
+                self.node_id, sender, PongMessage(sender=self.node_id, nonce=message.nonce)
+            )
+        elif isinstance(message, PongMessage):
+            pass  # RTT bookkeeping is done by the policy that sent the ping.
+        elif isinstance(message, GetAddrMessage):
+            self._handle_getaddr(sender)
+        elif isinstance(message, AddrMessage):
+            self.address_book.update(a for a in message.addresses if a != self.node_id)
+        elif isinstance(message, JoinMessage):
+            if self.cluster_listener is not None:
+                self.cluster_listener.on_join_request(self, sender, message)
+        elif isinstance(message, JoinAcceptMessage):
+            if self.cluster_listener is not None:
+                self.cluster_listener.on_join_accept(self, sender, message)
+        elif isinstance(message, ClusterMembersMessage):
+            if self.cluster_listener is not None:
+                self.cluster_listener.on_cluster_members(self, sender, message)
+        elif isinstance(message, (VersionMessage, VerackMessage)):
+            pass  # Handshake cost is charged by the network's connect().
+        else:
+            raise TypeError(f"node {self.node_id} received unsupported message {message!r}")
+
+    # --------------------------------------------------------- INV / GETDATA
+    def _handle_inv(self, sender: int, message: InvMessage) -> None:
+        self.stats.invs_received += 1
+        network = self._require_network()
+        if message.inventory_type is InventoryType.TRANSACTION:
+            unknown = [
+                h
+                for h in message.hashes
+                if h not in self.known_transactions and h not in self._pending_tx_requests
+            ]
+            if not unknown:
+                self.stats.duplicate_invs += 1
+                return
+            self._pending_tx_requests.update(unknown)
+            self.stats.getdata_sent += 1
+            network.send(
+                self.node_id,
+                sender,
+                GetDataMessage(
+                    sender=self.node_id,
+                    inventory_type=InventoryType.TRANSACTION,
+                    hashes=tuple(unknown),
+                ),
+            )
+        else:
+            unknown = [
+                h
+                for h in message.hashes
+                if h not in self.known_blocks and h not in self._pending_block_requests
+            ]
+            if not unknown:
+                self.stats.duplicate_invs += 1
+                return
+            self._request_blocks(sender, tuple(unknown))
+
+    def _request_blocks(self, peer: int, hashes: tuple[str, ...]) -> None:
+        self._pending_block_requests.update(hashes)
+        self._require_network().send(
+            self.node_id,
+            peer,
+            GetDataMessage(
+                sender=self.node_id, inventory_type=InventoryType.BLOCK, hashes=hashes
+            ),
+        )
+
+    def _handle_getdata(self, sender: int, message: GetDataMessage) -> None:
+        network = self._require_network()
+        if message.inventory_type is InventoryType.TRANSACTION:
+            for txid in message.hashes:
+                tx = self.mempool.get(txid)
+                if tx is None:
+                    tx = self._find_confirmed_transaction(txid)
+                if tx is not None:
+                    network.send(self.node_id, sender, TxMessage(sender=self.node_id, transaction=tx))
+        else:
+            for block_hash in message.hashes:
+                if self.blockchain.has_block(block_hash):
+                    network.send(
+                        self.node_id,
+                        sender,
+                        BlockMessage(sender=self.node_id, block=self.blockchain.get_block(block_hash)),
+                    )
+
+    def _find_confirmed_transaction(self, txid: str) -> Optional[Transaction]:
+        for tx in self.blockchain.transactions_on_best_chain():
+            if tx.txid == txid:
+                return tx
+        return None
+
+    # ------------------------------------------------------------ TX / BLOCK
+    def _handle_tx(self, sender: int, message: TxMessage) -> None:
+        if message.transaction is None:
+            return
+        tx = message.transaction
+        if tx.txid in self.known_transactions and tx.txid not in self._pending_tx_requests:
+            return
+        result = self.accept_transaction(tx, origin_peer=sender)
+        if not result.valid:
+            return
+        if not self.config.relay_transactions:
+            return
+        relay_delay = result.verification_cost_s if self.config.verification_enabled else 0.0
+        simulator = self._require_network().simulator
+        txid = tx.txid
+        simulator.schedule(
+            relay_delay,
+            lambda: self._relay_transaction(txid, exclude_peer=sender),
+            label=f"relay:{self.node_id}",
+        )
+
+    def _relay_transaction(self, txid: str, *, exclude_peer: int) -> None:
+        if txid not in self.mempool and not self.blockchain.contains_transaction(txid):
+            return
+        self.stats.transactions_relayed += 1
+        self.announce_transaction(txid, exclude={exclude_peer})
+
+    def _handle_block(self, sender: int, message: BlockMessage) -> None:
+        if message.block is None:
+            return
+        self.accept_block(message.block, origin_peer=sender)
+
+    # ------------------------------------------------------------------ addr
+    def _handle_getaddr(self, sender: int) -> None:
+        known = [a for a in self.address_book if a != sender]
+        sample = tuple(sorted(known)[: self.config.addr_sample_size])
+        self._require_network().send(
+            self.node_id, sender, AddrMessage(sender=self.node_id, addresses=sample)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BitcoinNode(id={self.node_id}, region={self.position.region!r}, "
+            f"peers={len(self.neighbors()) if self.network else 0})"
+        )

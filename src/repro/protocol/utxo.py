@@ -1,0 +1,139 @@
+"""The unspent transaction output (UTXO) ledger.
+
+Section III of the paper: the balance of an account is the sum of all unspent
+outputs owned by that account, and a transaction is valid only if the coins it
+spends have not been spent before.  The UTXO set is the data structure every
+node checks on receiving a new transaction ("a peer checks whether the Bitcoin
+has been previously spent").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.protocol.transaction import Transaction, TxOutput
+
+
+@dataclass(frozen=True)
+class UtxoEntry:
+    """One unspent output: where it came from and what it is worth."""
+
+    txid: str
+    index: int
+    value: int
+    address: str
+    confirmed_in_block: Optional[str] = None
+
+    @property
+    def outpoint(self) -> tuple[str, int]:
+        """The ``(txid, index)`` key of this output."""
+        return (self.txid, self.index)
+
+
+class UtxoSet:
+    """Mutable set of unspent outputs, indexed by outpoint and by address."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, int], UtxoEntry] = {}
+        self._by_address: dict[str, set[tuple[str, int]]] = {}
+
+    # ---------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, outpoint: tuple[str, int]) -> bool:
+        return outpoint in self._entries
+
+    def get(self, outpoint: tuple[str, int]) -> Optional[UtxoEntry]:
+        """The entry for an outpoint, or None if it is spent/unknown."""
+        return self._entries.get(outpoint)
+
+    def entries(self) -> Iterator[UtxoEntry]:
+        """Iterate over all unspent entries."""
+        return iter(self._entries.values())
+
+    def balance(self, address: str) -> int:
+        """Total unspent value held by an address."""
+        outpoints = self._by_address.get(address, set())
+        return sum(self._entries[op].value for op in outpoints)
+
+    def spendable_by(self, address: str) -> list[UtxoEntry]:
+        """All unspent entries owned by an address, ordered by outpoint."""
+        outpoints = self._by_address.get(address, set())
+        return sorted((self._entries[op] for op in outpoints), key=lambda e: e.outpoint)
+
+    def total_value(self) -> int:
+        """Sum of all unspent values in the ledger."""
+        return sum(entry.value for entry in self._entries.values())
+
+    # -------------------------------------------------------------- mutation
+    def add(self, entry: UtxoEntry) -> None:
+        """Add an unspent output.
+
+        Raises:
+            ValueError: if the outpoint already exists.
+        """
+        if entry.outpoint in self._entries:
+            raise ValueError(f"outpoint {entry.outpoint} is already unspent")
+        self._entries[entry.outpoint] = entry
+        self._by_address.setdefault(entry.address, set()).add(entry.outpoint)
+
+    def remove(self, outpoint: tuple[str, int]) -> UtxoEntry:
+        """Spend (remove) an outpoint.
+
+        Raises:
+            KeyError: if the outpoint is not unspent.
+        """
+        if outpoint not in self._entries:
+            raise KeyError(f"outpoint {outpoint} is not in the UTXO set")
+        entry = self._entries.pop(outpoint)
+        owners = self._by_address.get(entry.address)
+        if owners is not None:
+            owners.discard(outpoint)
+            if not owners:
+                del self._by_address[entry.address]
+        return entry
+
+    def apply_transaction(self, tx: Transaction, *, block_hash: Optional[str] = None) -> None:
+        """Apply a transaction: spend its inputs, add its outputs.
+
+        The caller is responsible for having validated the transaction first
+        (see :class:`~repro.protocol.validation.TransactionValidator`); this
+        method still refuses to spend missing outpoints to protect ledger
+        integrity.
+        """
+        if not tx.is_coinbase:
+            for tx_input in tx.inputs:
+                self.remove(tx_input.outpoint)
+        for index, output in enumerate(tx.outputs):
+            self.add(
+                UtxoEntry(
+                    txid=tx.txid,
+                    index=index,
+                    value=output.value,
+                    address=output.address,
+                    confirmed_in_block=block_hash,
+                )
+            )
+
+    def can_apply(self, tx: Transaction) -> bool:
+        """Whether every input of ``tx`` is currently unspent."""
+        if tx.is_coinbase:
+            return True
+        return all(tx_input.outpoint in self._entries for tx_input in tx.inputs)
+
+    def copy(self) -> "UtxoSet":
+        """Deep-enough copy for building candidate chain states."""
+        clone = UtxoSet()
+        clone._entries = dict(self._entries)
+        clone._by_address = {address: set(ops) for address, ops in self._by_address.items()}
+        return clone
+
+    @staticmethod
+    def from_transactions(transactions: Iterable[Transaction]) -> "UtxoSet":
+        """Build a UTXO set by applying transactions in order."""
+        utxo = UtxoSet()
+        for tx in transactions:
+            utxo.apply_transaction(tx)
+        return utxo

@@ -1,0 +1,35 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is intentionally small and dependency-free: a binary-heap event
+queue keyed on ``(time, priority, sequence)``, a simulation clock measured in
+seconds (float), cooperative processes implemented as generators, periodic
+timers, a hierarchical seeded random-number service, and an event trace
+recorder used by the measurement layer.
+
+Everything in the repository that "happens over time" — message transmission,
+ping round trips, node churn, transaction relay — is scheduled through
+:class:`~repro.sim.engine.Simulator`.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import Simulator, StopSimulation
+from repro.sim.events import Event, EventHandle
+from repro.sim.process import Process, Timeout, WaitEvent
+from repro.sim.rng import RandomService
+from repro.sim.timers import PeriodicTimer
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "PeriodicTimer",
+    "Process",
+    "RandomService",
+    "SimClock",
+    "Simulator",
+    "StopSimulation",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "WaitEvent",
+]

@@ -1,0 +1,93 @@
+"""Event objects and handles used by the simulation engine.
+
+An :class:`Event` is a scheduled callback.  Ordering in the event heap is by
+``(time, priority, sequence)``:
+
+* ``time`` — absolute simulated time in seconds;
+* ``priority`` — lower runs first among events at the same instant.  Protocol
+  code mostly uses the default; the engine uses priorities to make control
+  events (e.g. simulation stop) run after ordinary events at the same time;
+* ``sequence`` — a monotonically increasing tie-breaker, so events scheduled
+  earlier in wall-clock order run first and the ordering is fully
+  deterministic.
+
+Cancellation is handled by flagging the event rather than removing it from the
+heap (lazy deletion), which keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class EventPriority(enum.IntEnum):
+    """Relative ordering of events that share the same timestamp."""
+
+    URGENT = 0
+    NORMAL = 10
+    LOW = 20
+    CONTROL = 100
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: absolute simulated time at which the callback fires.
+        priority: tie-break priority (lower fires first).
+        sequence: engine-assigned monotonic tie-breaker.
+        callback: callable invoked as ``callback()`` when the event fires.
+        label: human-readable label used in traces and error messages.
+        cancelled: set by :meth:`EventHandle.cancel`; cancelled events are
+            skipped when popped.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Reference to a scheduled event allowing cancellation and inspection."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """Label given when the event was scheduled."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the event.
+
+        Returns:
+            True if the event was still pending and is now cancelled, False if
+            it had already been cancelled.
+        """
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, label={self.label!r}, {state})"

@@ -1,0 +1,72 @@
+"""Event tracing.
+
+The tracer records ``(time, category, subject, detail)`` tuples.  The protocol
+layer emits traces for message sends/receives and the measurement layer emits
+traces for transaction announcements; tests assert against them and the
+overhead experiment counts them.
+
+Tracing is off by default because a full Fig. 3 run generates millions of
+records; experiments that need it opt in per category.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace entry."""
+
+    time: float
+    category: str
+    subject: str
+    detail: Any = None
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries, optionally filtered by category."""
+
+    def __init__(self, enabled: bool = False, categories: Optional[Iterable[str]] = None) -> None:
+        self.enabled = enabled
+        self._categories = set(categories) if categories is not None else None
+        self._records: list[TraceRecord] = []
+        self._counts: Counter[str] = Counter()
+
+    def record(self, time: float, category: str, subject: str, detail: Any = None) -> None:
+        """Store a record if tracing is enabled and the category is selected."""
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        self._records.append(TraceRecord(time, category, subject, detail))
+        self._counts[category] += 1
+
+    def records(self, category: Optional[str] = None) -> list[TraceRecord]:
+        """Return recorded entries, optionally restricted to one category."""
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r.category == category]
+
+    def count(self, category: Optional[str] = None) -> int:
+        """Number of records, optionally restricted to one category."""
+        if category is None:
+            return len(self._records)
+        return self._counts.get(category, 0)
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self._records.clear()
+        self._counts.clear()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {len(self._records)} records)"

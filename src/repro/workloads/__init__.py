@@ -1,0 +1,28 @@
+"""Workload and scenario construction.
+
+* :mod:`repro.workloads.network_gen` — builds a complete simulated network
+  (engine, geography, latency model, nodes, DNS seed) from a
+  :class:`~repro.workloads.network_gen.NetworkParameters` description;
+* :mod:`repro.workloads.generators` — funding helpers and background
+  transaction workload generators;
+* :mod:`repro.workloads.scenarios` — named presets combining a network, a
+  neighbour-selection policy and (optionally) churn, used by the examples,
+  experiments and benchmarks.
+"""
+
+from repro.workloads.generators import TransactionWorkload, WorkloadConfig, fund_nodes
+from repro.workloads.network_gen import NetworkParameters, SimulatedNetwork, build_network
+from repro.workloads.scenarios import POLICY_NAMES, Scenario, build_policy, build_scenario
+
+__all__ = [
+    "NetworkParameters",
+    "POLICY_NAMES",
+    "Scenario",
+    "SimulatedNetwork",
+    "TransactionWorkload",
+    "WorkloadConfig",
+    "build_network",
+    "build_policy",
+    "build_scenario",
+    "fund_nodes",
+]

@@ -1,0 +1,188 @@
+"""Funding helpers and background transaction workloads.
+
+The measuring node (and any node that should emit payments) needs confirmed,
+spendable outputs.  :func:`fund_nodes` installs a *funding block* — one block
+at height 1 containing a coinbase output per (node, output) pair — directly on
+every node's chain, standing in for history that would precede the experiment
+in the real network.
+
+:class:`TransactionWorkload` generates background payment traffic: funded
+nodes create and broadcast transactions following a Poisson process, the way
+ordinary wallet activity arrives in the real network.  The fork-rate,
+double-spend and attack experiments all run on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.protocol.block import Block
+from repro.protocol.node import BitcoinNode
+from repro.protocol.transaction import Transaction
+from repro.sim.engine import Simulator
+from repro.sim.process import Timeout
+
+
+def fund_nodes(
+    nodes: Sequence[BitcoinNode],
+    *,
+    amount_satoshi: int = 1_000_000,
+    outputs_per_node: int = 1,
+    funded_node_ids: Optional[Sequence[int]] = None,
+) -> Block:
+    """Give nodes confirmed spendable outputs by installing a shared funding block.
+
+    Args:
+        nodes: every node in the network (all of them must learn the block so
+            their ledgers agree).
+        amount_satoshi: value of each funding output.
+        outputs_per_node: number of separate outputs per funded node (a
+            measurement campaign of N runs needs at least N outputs on the
+            measuring node, because change stays unconfirmed).
+        funded_node_ids: nodes that receive outputs; defaults to all of them.
+
+    Returns:
+        The funding block that was installed on every node.
+
+    Raises:
+        ValueError: on nonsensical amounts/counts or if any node has already
+            advanced past the genesis block (the funding block must be the
+            first block everyone agrees on).
+    """
+    if amount_satoshi <= 0:
+        raise ValueError(f"amount_satoshi must be positive, got {amount_satoshi}")
+    if outputs_per_node <= 0:
+        raise ValueError(f"outputs_per_node must be positive, got {outputs_per_node}")
+    if not nodes:
+        raise ValueError("fund_nodes needs at least one node")
+    funded = set(funded_node_ids) if funded_node_ids is not None else {n.node_id for n in nodes}
+    by_id = {node.node_id: node for node in nodes}
+    unknown = funded - set(by_id)
+    if unknown:
+        raise ValueError(f"cannot fund unknown node ids: {sorted(unknown)}")
+
+    reference = nodes[0]
+    if reference.blockchain.height != 0:
+        raise ValueError("fund_nodes must run before any blocks are mined")
+    funding_txs = [
+        Transaction.coinbase(
+            by_id[node_id].keypair.address,
+            amount_satoshi,
+            tag=f"funding:{node_id}:{output_index}",
+        )
+        for node_id in sorted(funded)
+        for output_index in range(outputs_per_node)
+    ]
+    funding_block = Block.create(
+        reference.blockchain.genesis,
+        funding_txs,
+        timestamp=0.0,
+        nonce=0,
+        miner_id=-1,
+    )
+    for node in nodes:
+        if node.blockchain.height != 0:
+            raise ValueError(f"node {node.node_id} has already advanced past genesis")
+        node.blockchain.add_block(funding_block)
+        node.utxo = node.blockchain.utxo_set()
+        node.known_blocks.add(funding_block.block_hash)
+        node.known_transactions.update(tx.txid for tx in funding_txs)
+    return funding_block
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the background transaction workload.
+
+    Attributes:
+        transactions_per_second: network-wide mean arrival rate of new payments.
+        payment_satoshi: value of each generated payment.
+        sender_count: how many distinct funded nodes emit payments (a subset
+            keeps wallet management simple); senders are drawn once at start.
+    """
+
+    transactions_per_second: float = 0.5
+    payment_satoshi: int = 5_000
+    sender_count: int = 20
+
+    def __post_init__(self) -> None:
+        if self.transactions_per_second <= 0:
+            raise ValueError("transactions_per_second must be positive")
+        if self.payment_satoshi <= 0:
+            raise ValueError("payment_satoshi must be positive")
+        if self.sender_count <= 0:
+            raise ValueError("sender_count must be positive")
+
+
+class TransactionWorkload:
+    """Poisson background payment traffic between simulated wallets."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        nodes: dict[int, BitcoinNode],
+        rng: np.random.Generator,
+        config: Optional[WorkloadConfig] = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("the workload needs at least one node")
+        self._simulator = simulator
+        self._nodes = nodes
+        self._rng = rng
+        self.config = config if config is not None else WorkloadConfig()
+        self.transactions_created = 0
+        self.failures = 0
+        self._running = False
+        self._senders: list[int] = []
+
+    @property
+    def senders(self) -> list[int]:
+        """Node ids selected as payment senders (empty until started)."""
+        return list(self._senders)
+
+    def start(self) -> None:
+        """Begin generating transactions."""
+        if self._running:
+            raise RuntimeError("the workload is already running")
+        self._running = True
+        candidate_ids = sorted(self._nodes)
+        count = min(self.config.sender_count, len(candidate_ids))
+        picked = self._rng.choice(len(candidate_ids), size=count, replace=False)
+        self._senders = [candidate_ids[int(i)] for i in picked]
+        self._simulator.spawn(self._generate_forever(), name="tx-workload")
+
+    def stop(self) -> None:
+        """Stop after the next scheduled arrival."""
+        self._running = False
+
+    def _generate_forever(self):
+        while self._running:
+            gap = float(self._rng.exponential(1.0 / self.config.transactions_per_second))
+            yield Timeout(max(gap, 1e-6))
+            if not self._running:
+                return
+            self._emit_one()
+
+    def _emit_one(self) -> None:
+        sender_id = self._senders[int(self._rng.integers(len(self._senders)))]
+        sender = self._nodes[sender_id]
+        if sender.network is not None and not sender.network.is_online(sender_id):
+            self.failures += 1
+            return
+        receiver_id = sender_id
+        while receiver_id == sender_id:
+            receiver_id = int(self._rng.integers(len(self._nodes)))
+            receiver_id = sorted(self._nodes)[receiver_id]
+        receiver = self._nodes[receiver_id]
+        try:
+            sender.create_transaction(
+                [(receiver.keypair.address, self.config.payment_satoshi)]
+            )
+        except ValueError:
+            # Wallet exhausted (all outputs unconfirmed); count and move on.
+            self.failures += 1
+            return
+        self.transactions_created += 1

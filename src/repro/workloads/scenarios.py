@@ -1,0 +1,99 @@
+"""Named scenario presets: network + policy (+ churn) ready to measure.
+
+A :class:`Scenario` bundles a freshly-built network with a constructed
+neighbour-selection policy and the build report of its topology.  Experiments,
+benchmarks and examples use :func:`build_scenario` so they all agree on what
+"run protocol X on a network of N nodes with seed S" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.bcbpt import BcbptConfig, BcbptPolicy
+from repro.core.lbc import LbcConfig, LbcPolicy
+from repro.core.policy import NeighbourPolicy, TopologyBuildReport
+from repro.core.random_topology import RandomNeighbourPolicy, RandomPolicyConfig
+from repro.workloads.network_gen import NetworkParameters, SimulatedNetwork, build_network
+
+#: Protocol names accepted by :func:`build_policy` / :func:`build_scenario`.
+POLICY_NAMES = ("bitcoin", "lbc", "bcbpt")
+
+
+@dataclass
+class Scenario:
+    """A built network with its policy-constructed overlay."""
+
+    name: str
+    network: SimulatedNetwork
+    policy: NeighbourPolicy
+    build_report: TopologyBuildReport
+
+    @property
+    def simulator(self):
+        """The scenario's event engine."""
+        return self.network.simulator
+
+
+def build_policy(
+    name: str,
+    simulated: SimulatedNetwork,
+    *,
+    latency_threshold_s: Optional[float] = None,
+    max_outbound: int = 8,
+) -> NeighbourPolicy:
+    """Construct (but do not run) a neighbour policy for a built network.
+
+    Args:
+        name: one of ``"bitcoin"``, ``"lbc"``, ``"bcbpt"``.
+        simulated: the network to operate on.
+        latency_threshold_s: BCBPT's ``d_t``; ignored by the other policies.
+        max_outbound: outbound connection quota for every policy.
+
+    Raises:
+        ValueError: for an unknown policy name.
+    """
+    rng = simulated.simulator.random.stream(f"policy-{name}")
+    if name == "bitcoin":
+        config = RandomPolicyConfig(max_outbound=max_outbound)
+        return RandomNeighbourPolicy(
+            simulated.network, simulated.seed_service, rng, config
+        )
+    if name == "lbc":
+        config = LbcConfig(max_outbound=max_outbound)
+        return LbcPolicy(simulated.network, simulated.seed_service, rng, config)
+    if name == "bcbpt":
+        threshold = latency_threshold_s if latency_threshold_s is not None else 0.025
+        config = BcbptConfig(latency_threshold_s=threshold, max_outbound=max_outbound)
+        return BcbptPolicy(simulated.network, simulated.seed_service, rng, config)
+    raise ValueError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}")
+
+
+def build_scenario(
+    policy_name: str,
+    parameters: Optional[NetworkParameters] = None,
+    *,
+    latency_threshold_s: Optional[float] = None,
+    max_outbound: int = 8,
+) -> Scenario:
+    """Build a network, run the policy's topology construction, return both.
+
+    This is the entry point used by the figure experiments: the same
+    ``parameters`` (and therefore the same seed-derived node placement) with a
+    different ``policy_name`` gives the controlled comparison of Fig. 3.
+    """
+    simulated = build_network(parameters)
+    policy = build_policy(
+        policy_name,
+        simulated,
+        latency_threshold_s=latency_threshold_s,
+        max_outbound=max_outbound,
+    )
+    report = policy.build_topology()
+    return Scenario(
+        name=policy_name,
+        network=simulated,
+        policy=policy,
+        build_report=report,
+    )

@@ -1,0 +1,156 @@
+"""Tests for delay statistics and propagation-run records."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measurement.propagation import PropagationRun, ReceptionRecord
+from repro.measurement.stats import DelayDistribution, summarize_delays
+
+
+class TestDelayDistribution:
+    def test_empty_distribution(self):
+        dist = DelayDistribution()
+        assert len(dist) == 0
+        assert not dist
+        with pytest.raises(ValueError):
+            dist.mean()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DelayDistribution([-0.1])
+
+    def test_basic_statistics(self):
+        dist = DelayDistribution([1.0, 2.0, 3.0, 4.0])
+        assert dist.mean() == pytest.approx(2.5)
+        assert dist.median() == pytest.approx(2.5)
+        assert dist.minimum() == 1.0
+        assert dist.maximum() == 4.0
+        assert dist.variance() == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+        assert dist.std() == pytest.approx(np.sqrt(dist.variance()))
+
+    def test_single_sample_has_zero_variance(self):
+        assert DelayDistribution([0.5]).variance() == 0.0
+
+    def test_percentiles(self):
+        dist = DelayDistribution(list(np.linspace(0.0, 1.0, 101)))
+        assert dist.percentile(50) == pytest.approx(0.5, abs=0.02)
+        assert dist.percentile(90) == pytest.approx(0.9, abs=0.02)
+        with pytest.raises(ValueError):
+            dist.percentile(120)
+
+    def test_cdf_monotone_and_bounded(self):
+        dist = DelayDistribution([0.1, 0.2, 0.4, 0.8])
+        fractions = dist.cdf([0.0, 0.1, 0.3, 1.0])
+        assert fractions == sorted(fractions)
+        assert fractions[0] == 0.0 or fractions[0] >= 0.0
+        assert fractions[-1] == 1.0
+
+    def test_cdf_curve_resolution(self):
+        dist = DelayDistribution([0.1, 0.2, 0.3])
+        curve = dist.cdf_curve(resolution=10)
+        assert len(curve) == 10
+        assert curve[-1][1] == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            dist.cdf_curve(resolution=1)
+
+    def test_merge_keeps_both_sets(self):
+        a = DelayDistribution([1.0, 2.0])
+        b = DelayDistribution([3.0])
+        merged = a.merge(b)
+        assert len(merged) == 3
+        assert len(a) == 2
+
+    def test_summary_keys(self):
+        summary = DelayDistribution([0.1, 0.2, 0.3]).summary()
+        for key in ("count", "mean_s", "median_s", "variance_s2", "p90_s", "max_s"):
+            assert key in summary
+
+    def test_summarize_delays_skips_empty(self):
+        result = summarize_delays({"a": DelayDistribution([1.0]), "b": DelayDistribution()})
+        assert "a" in result and "b" not in result
+
+    @given(samples=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_summary_invariants_property(self, samples):
+        dist = DelayDistribution(samples)
+        assert dist.minimum() <= dist.median() <= dist.maximum()
+        assert dist.minimum() <= dist.mean() <= dist.maximum()
+        assert dist.variance() >= 0.0
+        assert dist.percentile(25) <= dist.percentile(75)
+
+    @given(
+        first=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20),
+        second=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_count_property(self, first, second):
+        merged = DelayDistribution(first).merge(DelayDistribution(second))
+        assert len(merged) == len(first) + len(second)
+
+
+class TestReceptionRecord:
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            ReceptionRecord(node_id=1, received_at=1.0, delta_t_s=-0.1, rank=1)
+
+    def test_rank_starts_at_one(self):
+        with pytest.raises(ValueError):
+            ReceptionRecord(node_id=1, received_at=1.0, delta_t_s=0.1, rank=0)
+
+
+class TestPropagationRun:
+    def _run(self):
+        return PropagationRun(
+            run_index=0,
+            txid="tx",
+            sent_at=10.0,
+            first_recipient=1,
+            connected_nodes=(1, 2, 3),
+        )
+
+    def test_record_reception_computes_delta_and_rank(self):
+        run = self._run()
+        record = run.record_reception(2, 10.5)
+        assert record.delta_t_s == pytest.approx(0.5)
+        assert record.rank == 1
+        second = run.record_reception(3, 11.0)
+        assert second.rank == 2
+
+    def test_duplicate_reception_ignored(self):
+        run = self._run()
+        run.record_reception(2, 10.5)
+        assert run.record_reception(2, 12.0) is None
+        assert len(run.receptions) == 1
+
+    def test_unknown_node_ignored(self):
+        run = self._run()
+        assert run.record_reception(99, 10.5) is None
+
+    def test_completion_and_coverage(self):
+        run = self._run()
+        assert run.coverage == 0.0
+        for node, at in ((1, 10.1), (2, 10.2), (3, 10.3)):
+            run.record_reception(node, at)
+        assert run.complete
+        assert run.coverage == 1.0
+
+    def test_delay_queries(self):
+        run = self._run()
+        run.record_reception(1, 10.1)
+        run.record_reception(3, 10.6)
+        assert run.delay_of(1) == pytest.approx(0.1)
+        assert run.delay_of(2) is None
+        assert run.last_delay() == pytest.approx(0.6)
+        assert run.delays() == [pytest.approx(0.1), pytest.approx(0.6)]
+
+    def test_to_distribution(self):
+        run = self._run()
+        run.record_reception(1, 10.2)
+        dist = run.to_distribution()
+        assert len(dist) == 1
+        assert dist.mean() == pytest.approx(0.2)
+
+    def test_empty_run_last_delay_none(self):
+        assert self._run().last_delay() is None

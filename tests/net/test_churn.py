@@ -1,0 +1,125 @@
+"""Tests for session lengths and churn-driven join/leave events."""
+
+import numpy as np
+import pytest
+
+from repro.net.churn import ChurnModel, SessionLengthModel, SessionParameters
+from repro.sim.engine import Simulator
+
+
+class TestSessionParameters:
+    def test_defaults_valid(self):
+        SessionParameters()
+
+    def test_invalid_median_rejected(self):
+        with pytest.raises(ValueError):
+            SessionParameters(median_session_s=0.0)
+
+    def test_invalid_stable_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SessionParameters(stable_fraction=1.5)
+
+    def test_negative_downtime_rejected(self):
+        with pytest.raises(ValueError):
+            SessionParameters(mean_downtime_s=-1.0)
+
+
+class TestSessionLengthModel:
+    def test_stability_assignment_persistent(self, rng):
+        model = SessionLengthModel(rng)
+        assert all(model.is_stable(5) == model.is_stable(5) for _ in range(5))
+
+    def test_stable_fraction_roughly_matches(self):
+        model = SessionLengthModel(
+            np.random.default_rng(3), SessionParameters(stable_fraction=0.3)
+        )
+        stable = sum(model.is_stable(i) for i in range(2000))
+        assert 0.25 <= stable / 2000 <= 0.35
+
+    def test_stable_nodes_get_long_sessions(self):
+        params = SessionParameters(stable_fraction=1.0, stable_session_s=1000.0)
+        model = SessionLengthModel(np.random.default_rng(1), params)
+        assert model.sample_session_s(0) == pytest.approx(1000.0)
+
+    def test_session_lengths_heavy_tailed(self):
+        params = SessionParameters(stable_fraction=0.0, median_session_s=3600.0, sigma=1.4)
+        model = SessionLengthModel(np.random.default_rng(2), params)
+        samples = [model.sample_session_s(i) for i in range(3000)]
+        median = float(np.median(samples))
+        mean = float(np.mean(samples))
+        assert 2000.0 <= median <= 6000.0
+        assert mean > median  # right-skewed
+
+    def test_zero_downtime_supported(self):
+        params = SessionParameters(mean_downtime_s=0.0)
+        model = SessionLengthModel(np.random.default_rng(1), params)
+        assert model.sample_downtime_s(0) == 0.0
+
+    def test_sessions_positive(self, rng):
+        model = SessionLengthModel(rng)
+        assert all(model.sample_session_s(i) > 0 for i in range(50))
+
+
+class TestChurnModel:
+    def _run_churn(self, horizon_s, params=None):
+        simulator = Simulator(seed=7)
+        model = SessionLengthModel(
+            simulator.random.stream("sessions"),
+            params
+            or SessionParameters(
+                median_session_s=10.0, sigma=0.5, stable_fraction=0.0, mean_downtime_s=5.0
+            ),
+        )
+        events = []
+        churn = ChurnModel(
+            simulator,
+            model,
+            on_leave=lambda n: events.append(("leave", n, simulator.now)),
+            on_join=lambda n: events.append(("join", n, simulator.now)),
+        )
+        for node_id in range(5):
+            churn.start_node(node_id)
+        simulator.run(until=horizon_s)
+        return churn, events
+
+    def test_nodes_leave_and_rejoin(self):
+        churn, events = self._run_churn(200.0)
+        assert churn.leave_events > 0
+        assert churn.join_events > 0
+        kinds = {kind for kind, _, _ in events}
+        assert kinds == {"leave", "join"}
+
+    def test_leave_precedes_rejoin_per_node(self):
+        _, events = self._run_churn(200.0)
+        per_node: dict[int, list[str]] = {}
+        for kind, node, _ in events:
+            per_node.setdefault(node, []).append(kind)
+        for sequence in per_node.values():
+            # Alternating sequence starting with a leave.
+            for index, kind in enumerate(sequence):
+                assert kind == ("leave" if index % 2 == 0 else "join")
+
+    def test_online_tracking(self):
+        churn, _ = self._run_churn(200.0)
+        online = churn.online_nodes()
+        for node_id in range(5):
+            assert churn.is_online(node_id) == (node_id in online)
+
+    def test_double_start_rejected(self):
+        simulator = Simulator(seed=1)
+        model = SessionLengthModel(simulator.random.stream("sessions"))
+        churn = ChurnModel(simulator, model, on_leave=lambda n: None, on_join=lambda n: None)
+        churn.start_node(1)
+        with pytest.raises(ValueError):
+            churn.start_node(1)
+
+    def test_no_events_before_first_session_ends(self):
+        params = SessionParameters(
+            median_session_s=1e6, sigma=0.1, stable_fraction=0.0, mean_downtime_s=1.0
+        )
+        simulator = Simulator(seed=7)
+        model = SessionLengthModel(simulator.random.stream("sessions"), params)
+        churn = ChurnModel(simulator, model, on_leave=lambda n: None, on_join=lambda n: None)
+        churn.start_node(0)
+        simulator.run(until=100.0)
+        assert churn.leave_events == 0

@@ -1,0 +1,116 @@
+"""Tests for the geographic model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.geo import EARTH_RADIUS_KM, GeoModel, GeoPosition, Region, WORLD_REGIONS, haversine_km
+
+
+class TestHaversine:
+    def test_zero_distance_for_same_point(self):
+        assert haversine_km(48.85, 2.35, 48.85, 2.35) == pytest.approx(0.0)
+
+    def test_known_city_pair_london_paris(self):
+        distance = haversine_km(51.51, -0.13, 48.86, 2.35)
+        assert 330 <= distance <= 360
+
+    def test_known_city_pair_new_york_london(self):
+        distance = haversine_km(40.71, -74.01, 51.51, -0.13)
+        assert 5500 <= distance <= 5700
+
+    def test_antipodal_distance_is_half_circumference(self):
+        distance = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert distance == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_symmetry(self):
+        a = haversine_km(10.0, 20.0, -30.0, 100.0)
+        b = haversine_km(-30.0, 100.0, 10.0, 20.0)
+        assert a == pytest.approx(b)
+
+    @given(
+        lat1=st.floats(-89, 89),
+        lon1=st.floats(-180, 180),
+        lat2=st.floats(-89, 89),
+        lon2=st.floats(-180, 180),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_distance_bounds_property(self, lat1, lon1, lat2, lon2):
+        distance = haversine_km(lat1, lon1, lat2, lon2)
+        assert 0.0 <= distance <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(lat=st.floats(-89, 89), lon=st.floats(-180, 180))
+    @settings(max_examples=100, deadline=None)
+    def test_identity_property(self, lat, lon):
+        assert haversine_km(lat, lon, lat, lon) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestGeoPosition:
+    def test_distance_between_positions(self):
+        a = GeoPosition(51.51, -0.13, "uk", "GB")
+        b = GeoPosition(48.86, 2.35, "france", "FR")
+        assert a.distance_km(b) == pytest.approx(haversine_km(51.51, -0.13, 48.86, 2.35))
+
+
+class TestRegions:
+    def test_default_regions_cover_weight(self):
+        total = sum(region.weight for region in WORLD_REGIONS)
+        assert total == pytest.approx(1.0, abs=0.05)
+
+    def test_region_names_unique(self):
+        names = [region.name for region in WORLD_REGIONS]
+        assert len(names) == len(set(names))
+
+
+class TestGeoModel:
+    def test_positions_have_valid_coordinates(self, geo_model):
+        for position in geo_model.sample_positions(200):
+            assert -90 <= position.latitude <= 90
+            assert -180 <= position.longitude <= 180
+
+    def test_positions_carry_known_region_names(self, geo_model):
+        names = {region.name for region in WORLD_REGIONS}
+        for position in geo_model.sample_positions(100):
+            assert position.region in names
+
+    def test_region_weights_respected_roughly(self):
+        rng = np.random.default_rng(7)
+        model = GeoModel(rng)
+        positions = model.sample_positions(3000)
+        us_share = sum(1 for p in positions if p.country == "US") / len(positions)
+        # US regions total ~0.35 of the default weight.
+        assert 0.25 <= us_share <= 0.45
+
+    def test_nodes_cluster_near_region_anchor(self):
+        rng = np.random.default_rng(7)
+        region = Region("test", "XX", 10.0, 20.0, weight=1.0, spread_km=100.0)
+        model = GeoModel(rng, regions=[region])
+        anchor = GeoPosition(10.0, 20.0, "test", "XX")
+        distances = [anchor.distance_km(p) for p in model.sample_positions(300)]
+        assert np.median(distances) < 300.0
+
+    def test_empty_regions_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GeoModel(rng, regions=[])
+
+    def test_zero_weight_regions_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GeoModel(rng, regions=[Region("z", "ZZ", 0.0, 0.0, weight=0.0)])
+
+    def test_negative_count_rejected(self, geo_model):
+        with pytest.raises(ValueError):
+            geo_model.sample_positions(-1)
+
+    def test_region_lookup(self, geo_model):
+        region = geo_model.region_of("eu-west")
+        assert region.country == "DE"
+        with pytest.raises(KeyError):
+            geo_model.region_of("atlantis")
+
+    def test_deterministic_given_same_rng_seed(self):
+        a = GeoModel(np.random.default_rng(3)).sample_positions(10)
+        b = GeoModel(np.random.default_rng(3)).sample_positions(10)
+        assert [(p.latitude, p.longitude) for p in a] == [(p.latitude, p.longitude) for p in b]

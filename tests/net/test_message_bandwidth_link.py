@@ -1,0 +1,169 @@
+"""Tests for wire-message sizing, the bandwidth model and the link layer."""
+
+import numpy as np
+import pytest
+
+from repro.net.bandwidth import AccessClass, BandwidthModel
+from repro.net.geo import GeoPosition
+from repro.net.latency import LatencyModel, LatencyParameters
+from repro.net.link import Link, LinkDelayCalculator
+from repro.net.message import (
+    ADDR_ENTRY_BYTES,
+    HEADER_BYTES,
+    INV_ENTRY_BYTES,
+    WireMessage,
+    message_size_bytes,
+)
+
+LONDON = GeoPosition(51.51, -0.13, "uk", "GB")
+PARIS = GeoPosition(48.86, 2.35, "france", "FR")
+
+
+class TestMessageSizes:
+    def test_every_size_includes_header(self):
+        for command in ("version", "verack", "ping", "pong", "getaddr", "inv", "tx", "block"):
+            assert message_size_bytes(command, 1) >= HEADER_BYTES
+
+    def test_inv_scales_with_entry_count(self):
+        one = message_size_bytes("inv", 1)
+        ten = message_size_bytes("inv", 10)
+        assert ten - one == 9 * INV_ENTRY_BYTES
+
+    def test_getdata_matches_inv_sizing(self):
+        assert message_size_bytes("getdata", 4) == message_size_bytes("inv", 4)
+
+    def test_addr_scales_with_address_count(self):
+        assert message_size_bytes("addr", 10) - message_size_bytes("addr", 1) == 9 * ADDR_ENTRY_BYTES
+
+    def test_tx_uses_transaction_size(self):
+        assert message_size_bytes("tx", 500) == HEADER_BYTES + 500
+
+    def test_tx_default_size(self):
+        assert message_size_bytes("tx") > HEADER_BYTES
+
+    def test_block_uses_block_size(self):
+        assert message_size_bytes("block", 1_000_000) == HEADER_BYTES + 1_000_000
+
+    def test_verack_is_header_only(self):
+        assert message_size_bytes("verack") == HEADER_BYTES
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(KeyError):
+            message_size_bytes("bogus")
+
+    def test_negative_inventory_rejected(self):
+        with pytest.raises(ValueError):
+            message_size_bytes("inv", -1)
+
+    def test_non_positive_tx_size_rejected(self):
+        with pytest.raises(ValueError):
+            message_size_bytes("tx", 0)
+
+    def test_wire_message_rejects_sub_header_size(self):
+        with pytest.raises(ValueError):
+            WireMessage("inv", HEADER_BYTES - 1)
+
+
+class TestBandwidthModel:
+    def test_assignment_is_persistent(self, rng):
+        model = BandwidthModel(rng)
+        first = model.assign(7)
+        assert model.assign(7) == first
+
+    def test_effective_rate_is_bottleneck(self, rng):
+        classes = (
+            AccessClass("slow", uplink_bps=100.0, downlink_bps=100.0, weight=1.0),
+        )
+        model = BandwidthModel(rng, classes=classes)
+        assert model.effective_rate_bps(1, 2) == pytest.approx(100.0)
+
+    def test_transmission_delay(self, rng):
+        classes = (AccessClass("c", uplink_bps=1000.0, downlink_bps=1000.0, weight=1.0),)
+        model = BandwidthModel(rng, classes=classes)
+        assert model.transmission_delay_s(1, 2, 500.0) == pytest.approx(0.5)
+
+    def test_negative_size_rejected(self, rng):
+        model = BandwidthModel(rng)
+        with pytest.raises(ValueError):
+            model.transmission_delay_s(1, 2, -1.0)
+
+    def test_empty_class_list_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BandwidthModel(rng, classes=[])
+
+    def test_invalid_class_rates_rejected(self):
+        with pytest.raises(ValueError):
+            AccessClass("bad", uplink_bps=0.0, downlink_bps=10.0, weight=1.0)
+
+    def test_class_mix_follows_weights(self):
+        rng = np.random.default_rng(5)
+        model = BandwidthModel(rng)
+        counts = {}
+        for node_id in range(2000):
+            name = model.assign(node_id).access_class
+            counts[name] = counts.get(name, 0) + 1
+        # residential-fast has weight 0.40 of the default mix.
+        assert 0.3 <= counts.get("residential-fast", 0) / 2000 <= 0.5
+
+
+class TestLink:
+    def test_make_orders_endpoints(self):
+        link = Link.make(9, 2, established_at=1.0)
+        assert link.key == (2, 9)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            Link(3, 3, established_at=0.0)
+
+    def test_unordered_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Link(5, 2, established_at=0.0)
+
+    def test_other_endpoint(self):
+        link = Link.make(1, 2, established_at=0.0)
+        assert link.other(1) == 2
+        assert link.other(2) == 1
+        with pytest.raises(ValueError):
+            link.other(3)
+
+
+class TestLinkDelayCalculator:
+    def _calculator(self, with_bandwidth=False):
+        rng = np.random.default_rng(3)
+        latency = LatencyModel(
+            rng, LatencyParameters(congestion_jitter_sigma=0.0, detour_probability=0.0)
+        )
+        bandwidth = BandwidthModel(np.random.default_rng(4)) if with_bandwidth else None
+        return LinkDelayCalculator(latency, bandwidth)
+
+    def test_message_delay_positive(self):
+        calc = self._calculator()
+        assert calc.message_delay_s(0, LONDON, 1, PARIS, "inv", 1) > 0
+
+    def test_larger_messages_take_longer(self):
+        calc = self._calculator()
+        small = calc.message_delay_s(0, LONDON, 1, PARIS, "tx", 300, jittered=False)
+        big = calc.message_delay_s(0, LONDON, 1, PARIS, "block", 1_000_000, jittered=False)
+        assert big > small
+
+    def test_bandwidth_model_changes_transmission_component(self):
+        flat = self._calculator(with_bandwidth=False)
+        heterogeneous = self._calculator(with_bandwidth=True)
+        flat_delay = flat.message_delay_s(0, LONDON, 1, PARIS, "block", 500_000, jittered=False)
+        hetero_delay = heterogeneous.message_delay_s(
+            0, LONDON, 1, PARIS, "block", 500_000, jittered=False
+        )
+        assert flat_delay != pytest.approx(hetero_delay)
+
+    def test_ping_rtt_close_to_base_rtt_without_jitter(self):
+        calc = self._calculator()
+        ping = calc.ping_rtt_s(0, LONDON, 1, PARIS)
+        base = calc.base_rtt_s(0, LONDON, 1, PARIS)
+        assert ping == pytest.approx(base)
+
+    def test_control_message_delay_roughly_half_rtt(self):
+        calc = self._calculator()
+        delay = calc.message_delay_s(0, LONDON, 1, PARIS, "inv", 1, jittered=False)
+        rtt = calc.base_rtt_s(0, LONDON, 1, PARIS)
+        assert delay < rtt
+        assert delay > rtt / 4

@@ -1,0 +1,194 @@
+"""Tests for blocks, merkle roots and the fork-capable blockchain."""
+
+import pytest
+
+from repro.protocol.block import Block, BlockHeader, merkle_root
+from repro.protocol.blockchain import Blockchain
+from repro.protocol.crypto import KeyPair
+from repro.protocol.transaction import Transaction
+
+
+def make_block(previous, txs=None, miner=0, timestamp=1.0, nonce=0):
+    if txs is None:
+        filler = KeyPair.generate("filler")
+        txs = [Transaction.coinbase(filler.address, 1, tag=f"fill-{previous.height}-{nonce}")]
+    return Block.create(previous, list(txs), timestamp=timestamp, nonce=nonce, miner_id=miner)
+
+
+class TestBlock:
+    def test_genesis_properties(self):
+        genesis = Block.genesis()
+        assert genesis.is_genesis
+        assert genesis.height == 0
+        assert genesis.previous_hash == ""
+
+    def test_genesis_is_shared(self):
+        assert Block.genesis().block_hash == Block.genesis().block_hash
+
+    def test_create_links_to_parent(self):
+        genesis = Block.genesis()
+        block = make_block(genesis)
+        assert block.previous_hash == genesis.block_hash
+        assert block.height == 1
+
+    def test_block_hash_depends_on_nonce(self):
+        genesis = Block.genesis()
+        a = make_block(genesis, nonce=1)
+        b = make_block(genesis, nonce=2)
+        assert a.block_hash != b.block_hash
+
+    def test_contains_and_txids(self):
+        keypair = KeyPair.generate("w")
+        coinbase = Transaction.coinbase(keypair.address, 100)
+        block = make_block(Block.genesis(), [coinbase])
+        assert block.contains(coinbase.txid)
+        assert coinbase.txid in block.txids
+        assert not block.contains("missing")
+
+    def test_size_includes_transactions(self):
+        keypair = KeyPair.generate("w")
+        coinbase = Transaction.coinbase(keypair.address, 100)
+        empty_ish = make_block(Block.genesis(), [coinbase])
+        assert empty_ish.size_bytes > 80
+
+    def test_non_genesis_requires_transactions(self):
+        with pytest.raises(ValueError):
+            Block(
+                header=BlockHeader("parent", merkle_root(()), 0.0, 0),
+                transactions=(),
+                height=1,
+            )
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValueError):
+            Block(header=BlockHeader("", merkle_root(()), 0.0, 0), transactions=(), height=-1)
+
+    def test_header_meets_target(self):
+        header = BlockHeader("", merkle_root(()), 0.0, 0)
+        assert header.meets_target(2**256)
+        assert not header.meets_target(0)
+
+
+class TestMerkleRoot:
+    def test_empty_root_is_stable(self):
+        assert merkle_root(()) == merkle_root(())
+
+    def test_root_changes_with_content(self):
+        keypair = KeyPair.generate("w")
+        a = Transaction.coinbase(keypair.address, 100, tag="a")
+        b = Transaction.coinbase(keypair.address, 100, tag="b")
+        assert merkle_root([a]) != merkle_root([b])
+
+    def test_root_changes_with_order(self):
+        keypair = KeyPair.generate("w")
+        a = Transaction.coinbase(keypair.address, 100, tag="a")
+        b = Transaction.coinbase(keypair.address, 100, tag="b")
+        assert merkle_root([a, b]) != merkle_root([b, a])
+
+    def test_odd_count_handled(self):
+        keypair = KeyPair.generate("w")
+        txs = [Transaction.coinbase(keypair.address, 100, tag=str(i)) for i in range(3)]
+        assert merkle_root(txs)
+
+
+class TestBlockchain:
+    def _funded_chain(self):
+        chain = Blockchain()
+        keypair = KeyPair.generate("miner")
+        coinbase = Transaction.coinbase(keypair.address, 1000, tag="funding")
+        block1 = make_block(chain.genesis, [coinbase], miner=1)
+        chain.add_block(block1)
+        return chain, keypair, coinbase, block1
+
+    def test_new_chain_at_genesis(self):
+        chain = Blockchain()
+        assert chain.height == 0
+        assert chain.tip.is_genesis
+        assert chain.block_count == 1
+
+    def test_add_block_extends_tip(self):
+        chain, _, _, block1 = self._funded_chain()
+        assert chain.height == 1
+        assert chain.tip.block_hash == block1.block_hash
+
+    def test_duplicate_add_is_noop(self):
+        chain, _, _, block1 = self._funded_chain()
+        assert chain.add_block(block1) is False
+        assert chain.block_count == 2
+
+    def test_unknown_parent_rejected(self):
+        chain = Blockchain()
+        keypair = KeyPair.generate("w")
+        orphan_parent = make_block(Block.genesis(), [Transaction.coinbase(keypair.address, 1, tag="x")])
+        orphan = make_block(orphan_parent, [Transaction.coinbase(keypair.address, 1, tag="y")])
+        with pytest.raises(ValueError):
+            chain.add_block(orphan)
+
+    def test_fork_recorded_but_tip_keeps_first_seen(self):
+        chain, keypair, _, block1 = self._funded_chain()
+        sibling = make_block(chain.genesis, [Transaction.coinbase(keypair.address, 1, tag="sib")], nonce=9)
+        changed = chain.add_block(sibling, observed_at=5.0)
+        assert changed is False
+        assert chain.tip.block_hash == block1.block_hash
+        assert chain.branch_count() == 2
+        assert len(chain.fork_events) == 1
+        assert chain.fork_events[0].height == 1
+
+    def test_longer_branch_wins_reorg(self):
+        chain, keypair, _, block1 = self._funded_chain()
+        sibling = make_block(chain.genesis, [Transaction.coinbase(keypair.address, 1, tag="sib")], nonce=9)
+        chain.add_block(sibling)
+        extension = make_block(sibling, [Transaction.coinbase(keypair.address, 1, tag="ext")], nonce=10)
+        changed = chain.add_block(extension)
+        assert changed is True
+        assert chain.tip.block_hash == extension.block_hash
+        assert chain.height == 2
+
+    def test_best_chain_lists_genesis_first(self):
+        chain, _, _, block1 = self._funded_chain()
+        best = chain.best_chain()
+        assert best[0].is_genesis
+        assert best[-1].block_hash == block1.block_hash
+
+    def test_confirmations_count(self):
+        chain, keypair, coinbase, block1 = self._funded_chain()
+        assert chain.confirmations(coinbase.txid) == 1
+        block2 = make_block(block1, [Transaction.coinbase(keypair.address, 1, tag="b2")])
+        chain.add_block(block2)
+        assert chain.confirmations(coinbase.txid) == 2
+        assert chain.confirmations("missing") == 0
+
+    def test_contains_transaction_follows_best_chain(self):
+        chain, keypair, coinbase, _ = self._funded_chain()
+        assert chain.contains_transaction(coinbase.txid)
+        assert not chain.contains_transaction("missing")
+
+    def test_utxo_set_reflects_best_chain(self):
+        chain, keypair, coinbase, _ = self._funded_chain()
+        utxo = chain.utxo_set()
+        assert utxo.balance(keypair.address) == 1000
+
+    def test_transaction_absent_from_losing_branch(self):
+        chain, keypair, _, block1 = self._funded_chain()
+        fork_tx = Transaction.coinbase(keypair.address, 77, tag="fork-only")
+        sibling = make_block(chain.genesis, [fork_tx], nonce=9)
+        chain.add_block(sibling)
+        assert not chain.contains_transaction(fork_tx.txid)
+
+    def test_chain_to_arbitrary_block(self):
+        chain, keypair, _, block1 = self._funded_chain()
+        block2 = make_block(block1, [Transaction.coinbase(keypair.address, 1, tag="b2")])
+        chain.add_block(block2)
+        path = chain.chain_to(block1.block_hash)
+        assert [b.height for b in path] == [0, 1]
+
+    def test_inconsistent_height_rejected(self):
+        chain = Blockchain()
+        keypair = KeyPair.generate("w")
+        bad = Block(
+            header=BlockHeader(chain.genesis.block_hash, merkle_root(()), 0.0, 0),
+            transactions=(Transaction.coinbase(keypair.address, 1, tag="z"),),
+            height=5,
+        )
+        with pytest.raises(ValueError):
+            chain.add_block(bad)

@@ -1,0 +1,247 @@
+"""Tests for peer discovery, mining and the double-spend attacker."""
+
+import numpy as np
+import pytest
+
+from repro.net.geo import GeoPosition
+from repro.protocol.discovery import AddressBook, DnsSeedService
+from repro.protocol.doublespend import DoubleSpendAttacker, DoubleSpendOutcome, tally_first_seen
+from repro.protocol.mining import MinerProfile, MiningProcess, equal_hash_power
+from repro.workloads.generators import fund_nodes
+from repro.workloads.network_gen import NetworkParameters, build_network
+
+
+class TestAddressBook:
+    def test_owner_never_recorded(self):
+        book = AddressBook(owner_id=5)
+        book.add(5)
+        assert len(book) == 0
+
+    def test_add_and_lookup(self):
+        book = AddressBook(owner_id=0)
+        book.add(3, seen_at=10.0)
+        assert 3 in book
+        assert book.last_seen(3) == 10.0
+
+    def test_last_seen_keeps_latest(self):
+        book = AddressBook(owner_id=0)
+        book.add(3, seen_at=10.0)
+        book.add(3, seen_at=5.0)
+        assert book.last_seen(3) == 10.0
+        book.add(3, seen_at=20.0)
+        assert book.last_seen(3) == 20.0
+
+    def test_update_many(self):
+        book = AddressBook(owner_id=0)
+        book.update([1, 2, 3, 0])
+        assert book.addresses() == [1, 2, 3]
+
+    def test_sample_without_replacement(self):
+        book = AddressBook(owner_id=0)
+        book.update(range(1, 21))
+        sample = book.sample(np.random.default_rng(1), 5)
+        assert len(sample) == 5
+        assert len(set(sample)) == 5
+
+    def test_sample_more_than_known_returns_all(self):
+        book = AddressBook(owner_id=0)
+        book.update([1, 2, 3])
+        assert sorted(book.sample(np.random.default_rng(1), 10)) == [1, 2, 3]
+
+
+class TestDnsSeedService:
+    def _service(self, count=20):
+        rng = np.random.default_rng(3)
+        positions = {
+            i: GeoPosition(float(i), float(i), region=f"r{i % 3}", country="XX")
+            for i in range(count)
+        }
+        service = DnsSeedService(positions, rng, seed_sample_size=5)
+        for i in range(count):
+            service.set_online(i, True)
+        return service
+
+    def test_query_excludes_requester(self):
+        service = self._service()
+        assert 0 not in service.query(0)
+
+    def test_query_respects_sample_size(self):
+        service = self._service()
+        assert len(service.query(0)) == 5
+
+    def test_query_returns_all_when_few_online(self):
+        service = self._service(count=4)
+        assert sorted(service.query(0)) == [1, 2, 3]
+
+    def test_offline_nodes_not_returned(self):
+        service = self._service(count=6)
+        service.set_online(3, False)
+        for _ in range(10):
+            assert 3 not in service.query(0)
+
+    def test_proximity_ranked_query_orders_by_distance(self):
+        service = self._service()
+        ranked = service.query_proximity_ranked(0)
+        positions = {
+            i: GeoPosition(float(i), float(i), region="r", country="XX") for i in range(20)
+        }
+        origin = positions[0]
+        distances = [origin.distance_km(positions[peer]) for peer in ranked]
+        assert distances == sorted(distances)
+
+    def test_query_counter(self):
+        service = self._service()
+        service.query(0)
+        service.query_proximity_ranked(1)
+        assert service.queries_served == 2
+
+    def test_invalid_sample_size_rejected(self):
+        with pytest.raises(ValueError):
+            DnsSeedService({}, np.random.default_rng(1), seed_sample_size=0)
+
+
+def build_ring_network(node_count=10, seed=4, outputs=3):
+    simulated = build_network(NetworkParameters(node_count=node_count, seed=seed))
+    ids = simulated.node_ids()
+    for index, node_id in enumerate(ids):
+        simulated.network.connect(node_id, ids[(index + 1) % len(ids)])
+        simulated.network.connect(node_id, ids[(index + 2) % len(ids)])
+    fund_nodes(list(simulated.nodes.values()), outputs_per_node=outputs)
+    return simulated
+
+
+class TestMining:
+    def test_equal_hash_power_helper(self):
+        profiles = equal_hash_power([1, 2, 3, 4])
+        assert len(profiles) == 4
+        assert sum(p.hash_power for p in profiles) == pytest.approx(1.0)
+
+    def test_negative_hash_power_rejected(self):
+        with pytest.raises(ValueError):
+            MinerProfile(node_id=0, hash_power=-1.0)
+
+    def test_requires_miners(self):
+        simulated = build_ring_network()
+        with pytest.raises(ValueError):
+            MiningProcess(
+                simulated.simulator, simulated.nodes, [], simulated.simulator.random.stream("m")
+            )
+
+    def test_mine_one_block_extends_winner_chain(self):
+        simulated = build_ring_network()
+        mining = MiningProcess(
+            simulated.simulator,
+            simulated.nodes,
+            equal_hash_power(simulated.node_ids()),
+            simulated.simulator.random.stream("mining"),
+        )
+        block = mining.mine_one_block(winner_id=0)
+        assert block is not None
+        assert simulated.node(0).blockchain.height == 2
+        assert mining.blocks_mined == 1
+
+    def test_block_contains_pending_transactions(self):
+        simulated = build_ring_network()
+        creator = simulated.node(2)
+        tx = creator.create_transaction([("dest", 500)])
+        simulated.simulator.run(until=30.0)
+        mining = MiningProcess(
+            simulated.simulator,
+            simulated.nodes,
+            equal_hash_power([0]),
+            simulated.simulator.random.stream("mining"),
+        )
+        block = mining.mine_one_block(winner_id=0)
+        assert block is not None
+        assert block.contains(tx.txid)
+
+    def test_winner_selection_follows_hash_power(self):
+        simulated = build_ring_network()
+        miners = [MinerProfile(0, 0.9)] + [MinerProfile(i, 0.1 / 9) for i in range(1, 10)]
+        mining = MiningProcess(
+            simulated.simulator,
+            simulated.nodes,
+            miners,
+            simulated.simulator.random.stream("mining"),
+        )
+        winners = [mining.pick_winner().node_id for _ in range(300)]
+        assert winners.count(0) > 200
+
+    def test_poisson_block_production(self):
+        simulated = build_ring_network()
+        mining = MiningProcess(
+            simulated.simulator,
+            simulated.nodes,
+            equal_hash_power(simulated.node_ids()),
+            simulated.simulator.random.stream("mining"),
+            block_interval_s=20.0,
+        )
+        mining.start()
+        simulated.simulator.run(until=400.0)
+        mining.stop()
+        # ~20 expected; accept a generous Poisson range.
+        assert 5 <= mining.blocks_mined <= 45
+
+    def test_offline_winner_produces_nothing(self):
+        simulated = build_ring_network()
+        simulated.network.set_online(0, False)
+        mining = MiningProcess(
+            simulated.simulator,
+            simulated.nodes,
+            equal_hash_power([0]),
+            simulated.simulator.random.stream("mining"),
+        )
+        assert mining.mine_one_block(winner_id=0) is None
+
+    def test_invalid_block_interval_rejected(self):
+        simulated = build_ring_network()
+        with pytest.raises(ValueError):
+            MiningProcess(
+                simulated.simulator,
+                simulated.nodes,
+                equal_hash_power([0]),
+                simulated.simulator.random.stream("m"),
+                block_interval_s=0.0,
+            )
+
+
+class TestDoubleSpend:
+    def test_pair_conflicts(self):
+        simulated = build_ring_network()
+        attacker = DoubleSpendAttacker(simulated.node(0), merchant_address="merchant-addr")
+        pair = attacker.build_pair(1000)
+        assert pair.victim_tx.conflicts_with(pair.attacker_tx)
+        assert pair.victim_tx.txid != pair.attacker_tx.txid
+
+    def test_insufficient_funds_rejected(self):
+        simulated = build_ring_network()
+        attacker = DoubleSpendAttacker(simulated.node(0), merchant_address="merchant-addr")
+        with pytest.raises(ValueError):
+            attacker.build_pair(10**15)
+
+    def test_first_seen_rule_splits_network(self):
+        simulated = build_ring_network(node_count=12)
+        network = simulated.network
+        simulator = simulated.simulator
+        attacker_node = simulated.node(0)
+        attacker = DoubleSpendAttacker(attacker_node, simulated.node(6).keypair.address)
+        pair = attacker.build_pair(1000)
+        # Inject the two conflicting transactions at opposite sides of the ring.
+        simulated.node(6).accept_transaction(pair.victim_tx, origin_peer=None)
+        simulated.node(6).announce_transaction(pair.victim_tx.txid)
+        simulated.node(0).accept_transaction(pair.attacker_tx, origin_peer=None)
+        simulated.node(0).announce_transaction(pair.attacker_tx.txid)
+        simulator.run(until=30.0)
+        outcome = tally_first_seen(list(simulated.nodes.values()), pair)
+        assert outcome.total_deciding_nodes == simulated.node_count
+        assert outcome.nodes_first_saw_victim > 0
+        assert outcome.nodes_first_saw_attacker > 0
+        assert 0.0 < outcome.attacker_share < 1.0
+
+    def test_outcome_success_flag(self):
+        outcome = DoubleSpendOutcome(victim_txid="v", attacker_txid="a")
+        assert outcome.attack_succeeded is None
+        outcome.confirmed_txid = "a"
+        assert outcome.attack_succeeded is True
+        outcome.confirmed_txid = "v"
+        assert outcome.attack_succeeded is False

@@ -1,0 +1,80 @@
+"""Tests for the protocol message vocabulary."""
+
+from repro.protocol.crypto import KeyPair
+from repro.protocol.block import Block
+from repro.protocol.messages import (
+    AddrMessage,
+    BlockMessage,
+    ClusterMembersMessage,
+    GetDataMessage,
+    InvMessage,
+    InventoryType,
+    JoinAcceptMessage,
+    JoinMessage,
+    PingMessage,
+    TxMessage,
+    VersionMessage,
+)
+from repro.protocol.transaction import Transaction
+from repro.net.message import message_size_bytes
+
+
+class TestMessageBasics:
+    def test_message_ids_are_unique(self):
+        a = PingMessage(sender=0)
+        b = PingMessage(sender=0)
+        assert a.message_id != b.message_id
+
+    def test_commands_match_wire_names(self):
+        assert VersionMessage(sender=0).command == "version"
+        assert InvMessage(sender=0).command == "inv"
+        assert GetDataMessage(sender=0).command == "getdata"
+        assert TxMessage(sender=0).command == "tx"
+        assert BlockMessage(sender=0).command == "block"
+        assert JoinMessage(sender=0).command == "join"
+        assert JoinAcceptMessage(sender=0).command == "join_accept"
+        assert ClusterMembersMessage(sender=0).command == "cluster_members"
+
+    def test_every_command_has_a_wire_size(self):
+        for message in (
+            VersionMessage(sender=0),
+            PingMessage(sender=0),
+            InvMessage(sender=0, hashes=("h",)),
+            GetDataMessage(sender=0, hashes=("h",)),
+            AddrMessage(sender=0, addresses=(1, 2)),
+            JoinMessage(sender=0),
+            JoinAcceptMessage(sender=0),
+            ClusterMembersMessage(sender=0, members=(1, 2, 3)),
+        ):
+            assert message_size_bytes(message.command, message.wire_payload()) > 0
+
+
+class TestWirePayloads:
+    def test_inv_payload_is_hash_count(self):
+        message = InvMessage(sender=0, hashes=("a", "b", "c"))
+        assert message.wire_payload() == 3
+
+    def test_addr_payload_is_address_count(self):
+        assert AddrMessage(sender=0, addresses=(1, 2)).wire_payload() == 2
+
+    def test_cluster_members_payload_is_member_count(self):
+        assert ClusterMembersMessage(sender=0, members=(1, 2, 3, 4)).wire_payload() == 4
+
+    def test_tx_payload_is_transaction_size(self):
+        keypair = KeyPair.generate("w")
+        tx = Transaction.coinbase(keypair.address, 10)
+        message = TxMessage(sender=0, transaction=tx)
+        assert message.wire_payload() == tx.size_bytes
+        assert TxMessage(sender=0).wire_payload() is None
+
+    def test_block_payload_is_block_size(self):
+        genesis = Block.genesis()
+        message = BlockMessage(sender=0, block=genesis)
+        assert message.wire_payload() == genesis.size_bytes
+
+    def test_inventory_type_values(self):
+        assert InventoryType.TRANSACTION.value == "tx"
+        assert InventoryType.BLOCK.value == "block"
+
+    def test_inv_defaults_to_transaction_type(self):
+        assert InvMessage(sender=0).inventory_type is InventoryType.TRANSACTION

@@ -1,0 +1,138 @@
+"""Tests for the UTXO ledger."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.crypto import KeyPair
+from repro.protocol.transaction import Transaction
+from repro.protocol.utxo import UtxoEntry, UtxoSet
+
+
+def entry(txid="t1", index=0, value=100, address="addr"):
+    return UtxoEntry(txid=txid, index=index, value=value, address=address)
+
+
+class TestUtxoSet:
+    def test_add_and_lookup(self):
+        utxo = UtxoSet()
+        utxo.add(entry())
+        assert ("t1", 0) in utxo
+        assert utxo.get(("t1", 0)).value == 100
+        assert len(utxo) == 1
+
+    def test_duplicate_add_rejected(self):
+        utxo = UtxoSet()
+        utxo.add(entry())
+        with pytest.raises(ValueError):
+            utxo.add(entry())
+
+    def test_remove_spends_entry(self):
+        utxo = UtxoSet()
+        utxo.add(entry())
+        removed = utxo.remove(("t1", 0))
+        assert removed.value == 100
+        assert ("t1", 0) not in utxo
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(KeyError):
+            UtxoSet().remove(("nope", 0))
+
+    def test_balance_by_address(self):
+        utxo = UtxoSet()
+        utxo.add(entry(txid="a", value=100, address="alice"))
+        utxo.add(entry(txid="b", value=250, address="alice"))
+        utxo.add(entry(txid="c", value=999, address="bob"))
+        assert utxo.balance("alice") == 350
+        assert utxo.balance("bob") == 999
+        assert utxo.balance("carol") == 0
+
+    def test_spendable_by_sorted(self):
+        utxo = UtxoSet()
+        utxo.add(entry(txid="z", value=1, address="alice"))
+        utxo.add(entry(txid="a", value=2, address="alice"))
+        outpoints = [e.outpoint for e in utxo.spendable_by("alice")]
+        assert outpoints == sorted(outpoints)
+
+    def test_total_value(self):
+        utxo = UtxoSet()
+        utxo.add(entry(txid="a", value=10))
+        utxo.add(entry(txid="b", value=20))
+        assert utxo.total_value() == 30
+
+    def test_balance_updates_after_removal(self):
+        utxo = UtxoSet()
+        utxo.add(entry(address="alice"))
+        utxo.remove(("t1", 0))
+        assert utxo.balance("alice") == 0
+
+
+class TestApplyTransaction:
+    def _setup(self):
+        keypair = KeyPair.generate("wallet")
+        coinbase = Transaction.coinbase(keypair.address, 1_000)
+        utxo = UtxoSet()
+        utxo.apply_transaction(coinbase)
+        return keypair, coinbase, utxo
+
+    def test_coinbase_creates_outputs(self):
+        keypair, coinbase, utxo = self._setup()
+        assert utxo.balance(keypair.address) == 1_000
+
+    def test_spend_moves_value(self):
+        keypair, coinbase, utxo = self._setup()
+        tx = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("merchant", 400)])
+        utxo.apply_transaction(tx)
+        assert utxo.balance("merchant") == 400
+        assert utxo.balance(keypair.address) == 600
+        assert (coinbase.txid, 0) not in utxo
+
+    def test_apply_missing_input_rejected(self):
+        keypair, coinbase, utxo = self._setup()
+        tx = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("merchant", 400)])
+        utxo.apply_transaction(tx)
+        with pytest.raises(KeyError):
+            utxo.apply_transaction(tx)
+
+    def test_can_apply_checks_inputs(self):
+        keypair, coinbase, utxo = self._setup()
+        tx = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("merchant", 400)])
+        assert utxo.can_apply(tx)
+        utxo.apply_transaction(tx)
+        assert not utxo.can_apply(tx)
+
+    def test_copy_is_independent(self):
+        keypair, coinbase, utxo = self._setup()
+        clone = utxo.copy()
+        clone.remove((coinbase.txid, 0))
+        assert (coinbase.txid, 0) in utxo
+        assert (coinbase.txid, 0) not in clone
+
+    def test_from_transactions_builder(self):
+        keypair = KeyPair.generate("wallet")
+        coinbase = Transaction.coinbase(keypair.address, 1_000)
+        tx = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("dest", 250)])
+        utxo = UtxoSet.from_transactions([coinbase, tx])
+        assert utxo.balance("dest") == 250
+        assert utxo.balance(keypair.address) == 750
+
+    @given(values=st.lists(st.integers(1, 10_000), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_total_value_conserved_by_spends_property(self, values):
+        """Applying any chain of valid spends never changes total ledger value."""
+        keypair = KeyPair.generate("wallet")
+        utxo = UtxoSet()
+        coinbases = [
+            Transaction.coinbase(keypair.address, value, tag=str(i))
+            for i, value in enumerate(values)
+        ]
+        for coinbase in coinbases:
+            utxo.apply_transaction(coinbase)
+        total_before = utxo.total_value()
+        spend = Transaction.create_signed(
+            keypair,
+            [(coinbases[0].txid, 0, values[0])],
+            [("merchant", max(1, values[0] // 2))],
+        )
+        utxo.apply_transaction(spend)
+        assert utxo.total_value() == total_before

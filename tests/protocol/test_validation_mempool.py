@@ -1,0 +1,244 @@
+"""Tests for transaction/block validation and the mempool."""
+
+import pytest
+
+from repro.protocol.block import Block
+from repro.protocol.crypto import KeyPair
+from repro.protocol.mempool import Mempool
+from repro.protocol.transaction import Transaction, TxInput, TxOutput
+from repro.protocol.utxo import UtxoSet
+from repro.protocol.validation import (
+    TransactionValidator,
+    ValidationError,
+    VerificationCostModel,
+)
+
+
+def funded_wallet(value=1_000):
+    keypair = KeyPair.generate("wallet")
+    coinbase = Transaction.coinbase(keypair.address, value)
+    utxo = UtxoSet()
+    utxo.apply_transaction(coinbase)
+    return keypair, coinbase, utxo
+
+
+class TestTransactionValidation:
+    def test_valid_transaction_accepted(self):
+        keypair, coinbase, utxo = funded_wallet()
+        tx = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("dest", 100)])
+        result = TransactionValidator().validate_transaction(tx, utxo)
+        assert result.valid
+        assert result.error is None
+        assert result.verification_cost_s > 0
+
+    def test_coinbase_always_valid(self):
+        _, coinbase, utxo = funded_wallet()
+        result = TransactionValidator().validate_transaction(coinbase, UtxoSet())
+        assert result.valid
+
+    def test_missing_input_rejected(self):
+        keypair, coinbase, utxo = funded_wallet()
+        tx = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("dest", 100)])
+        utxo.remove((coinbase.txid, 0))
+        result = TransactionValidator().validate_transaction(tx, utxo)
+        assert not result.valid
+        assert result.error is ValidationError.MISSING_INPUT
+
+    def test_wrong_owner_rejected(self):
+        keypair, coinbase, utxo = funded_wallet()
+        thief = KeyPair.generate("thief")
+        tx = Transaction.create_signed(thief, [(coinbase.txid, 0, 1000)], [("dest", 100)])
+        result = TransactionValidator().validate_transaction(tx, utxo)
+        assert not result.valid
+        assert result.error is ValidationError.WRONG_OWNER
+
+    def test_bad_signature_rejected(self):
+        keypair, coinbase, utxo = funded_wallet()
+        good = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("dest", 100)])
+        tampered_input = TxInput(
+            prev_txid=coinbase.txid,
+            prev_index=0,
+            public_key=good.inputs[0].public_key,
+            signature="0" * 64,
+            private_key_hint=good.inputs[0].private_key_hint,
+        )
+        tampered = Transaction(inputs=(tampered_input,), outputs=good.outputs)
+        result = TransactionValidator().validate_transaction(tampered, utxo)
+        assert not result.valid
+        assert result.error is ValidationError.BAD_SIGNATURE
+
+    def test_overspend_rejected(self):
+        keypair, coinbase, utxo = funded_wallet()
+        good = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("dest", 100)])
+        inflated = Transaction(
+            inputs=good.inputs,
+            outputs=(TxOutput(value=5_000, address="dest"),),
+        )
+        result = TransactionValidator().validate_transaction(inflated, utxo)
+        assert not result.valid
+        assert result.error in (ValidationError.VALUE_OVERSPEND, ValidationError.BAD_SIGNATURE)
+
+    def test_internal_double_spend_rejected(self):
+        keypair, coinbase, utxo = funded_wallet()
+        # Sign a transaction that lists the same outpoint twice, so the
+        # signature itself is consistent and the duplicate-input rule fires.
+        doubled = Transaction.create_signed(
+            keypair,
+            [(coinbase.txid, 0, 1000), (coinbase.txid, 0, 1000)],
+            [("dest", 100)],
+        )
+        result = TransactionValidator().validate_transaction(doubled, utxo)
+        assert not result.valid
+        assert result.error is ValidationError.DOUBLE_SPEND
+
+    def test_cost_grows_with_ledger_size(self):
+        model = VerificationCostModel()
+        keypair, coinbase, _ = funded_wallet()
+        tx = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("dest", 100)])
+        assert model.transaction_cost_s(tx, 100_000) > model.transaction_cost_s(tx, 100)
+
+    def test_cost_grows_with_inputs(self):
+        model = VerificationCostModel()
+        keypair = KeyPair.generate("w")
+        c1 = Transaction.coinbase(keypair.address, 500, tag="1")
+        c2 = Transaction.coinbase(keypair.address, 500, tag="2")
+        one_input = Transaction.create_signed(keypair, [(c1.txid, 0, 500)], [("d", 100)])
+        two_inputs = Transaction.create_signed(
+            keypair, [(c1.txid, 0, 500), (c2.txid, 0, 500)], [("d", 600)]
+        )
+        assert model.transaction_cost_s(two_inputs, 0) > model.transaction_cost_s(one_input, 0)
+
+
+class TestBlockValidation:
+    def test_valid_block_accepted(self):
+        keypair, coinbase, utxo = funded_wallet()
+        genesis = Block.genesis()
+        parent_utxo = UtxoSet()
+        block = Block.create(genesis, [coinbase], timestamp=1.0, nonce=0, miner_id=0)
+        result = TransactionValidator().validate_block(block, genesis, parent_utxo)
+        assert result.valid
+
+    def test_wrong_parent_rejected(self):
+        keypair, coinbase, _ = funded_wallet()
+        genesis = Block.genesis()
+        block1 = Block.create(genesis, [coinbase], timestamp=1.0, nonce=0, miner_id=0)
+        other = Transaction.coinbase(keypair.address, 1, tag="other")
+        block2 = Block.create(block1, [other], timestamp=2.0, nonce=0, miner_id=0)
+        result = TransactionValidator().validate_block(block2, genesis, UtxoSet())
+        assert not result.valid
+        assert result.error is ValidationError.BAD_PREVIOUS_BLOCK
+
+    def test_block_with_invalid_transaction_rejected(self):
+        keypair, coinbase, utxo = funded_wallet()
+        genesis = Block.genesis()
+        orphan_spend = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("d", 10)])
+        block = Block.create(genesis, [orphan_spend], timestamp=1.0, nonce=0, miner_id=0)
+        result = TransactionValidator().validate_block(block, genesis, UtxoSet())
+        assert not result.valid
+        assert result.error is ValidationError.MISSING_INPUT
+
+    def test_block_allows_intra_block_dependencies(self):
+        keypair, coinbase, _ = funded_wallet()
+        genesis = Block.genesis()
+        spend = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("dest", 250)])
+        block = Block.create(genesis, [coinbase, spend], timestamp=1.0, nonce=0, miner_id=0)
+        result = TransactionValidator().validate_block(block, genesis, UtxoSet())
+        assert result.valid
+
+
+class TestMempool:
+    def _signed_pair(self):
+        keypair, coinbase, utxo = funded_wallet()
+        tx1 = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("merchant", 100)])
+        tx2 = Transaction.create_signed(keypair, [(coinbase.txid, 0, 1000)], [("attacker", 100)])
+        return tx1, tx2
+
+    def test_add_and_lookup(self):
+        tx1, _ = self._signed_pair()
+        pool = Mempool()
+        assert pool.add(tx1, arrival_time=1.0)
+        assert tx1.txid in pool
+        assert pool.get(tx1.txid) is tx1
+        assert pool.arrival_time(tx1.txid) == 1.0
+
+    def test_duplicate_add_refused(self):
+        tx1, _ = self._signed_pair()
+        pool = Mempool()
+        assert pool.add(tx1)
+        assert not pool.add(tx1)
+        assert len(pool) == 1
+
+    def test_first_seen_rule_blocks_conflicts(self):
+        tx1, tx2 = self._signed_pair()
+        pool = Mempool()
+        assert pool.add(tx1)
+        assert pool.conflicts(tx2)
+        assert pool.conflicting_txid(tx2) == tx1.txid
+        assert not pool.add(tx2)
+
+    def test_conflict_cleared_after_removal(self):
+        tx1, tx2 = self._signed_pair()
+        pool = Mempool()
+        pool.add(tx1)
+        pool.remove(tx1.txid)
+        assert not pool.conflicts(tx2)
+        assert pool.add(tx2)
+
+    def test_remove_missing_returns_none(self):
+        assert Mempool().remove("nope") is None
+
+    def test_size_limit(self):
+        keypair = KeyPair.generate("many")
+        pool = Mempool(max_size=2)
+        for i in range(3):
+            coinbase = Transaction.coinbase(keypair.address, 100, tag=str(i))
+            tx = Transaction.create_signed(keypair, [(coinbase.txid, 0, 100)], [("d", 50)])
+            pool.add(tx)
+        assert len(pool) == 2
+        assert pool.is_full()
+
+    def test_invalid_size_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Mempool(max_size=0)
+
+    def test_remove_confirmed_batch(self):
+        keypair = KeyPair.generate("many")
+        pool = Mempool()
+        txids = []
+        for i in range(4):
+            coinbase = Transaction.coinbase(keypair.address, 100, tag=str(i))
+            tx = Transaction.create_signed(keypair, [(coinbase.txid, 0, 100)], [("d", 50)])
+            pool.add(tx)
+            txids.append(tx.txid)
+        removed = pool.remove_confirmed(set(txids[:2]))
+        assert removed == 2
+        assert len(pool) == 2
+
+    def test_select_for_block_oldest_first(self):
+        keypair = KeyPair.generate("many")
+        pool = Mempool()
+        expected = []
+        for i in range(5):
+            coinbase = Transaction.coinbase(keypair.address, 100, tag=str(i))
+            tx = Transaction.create_signed(keypair, [(coinbase.txid, 0, 100)], [("d", 50)])
+            pool.add(tx, arrival_time=float(i))
+            expected.append(tx.txid)
+        selected = [tx.txid for tx in pool.select_for_block(3)]
+        assert selected == expected[:3]
+
+    def test_select_for_block_zero(self):
+        assert Mempool().select_for_block(0) == []
+
+    def test_transactions_iterate_in_arrival_order(self):
+        tx1, _ = self._signed_pair()
+        pool = Mempool()
+        pool.add(tx1, arrival_time=3.0)
+        assert [t.txid for t in pool.transactions()] == [tx1.txid]
+
+    def test_clear(self):
+        tx1, _ = self._signed_pair()
+        pool = Mempool()
+        pool.add(tx1)
+        pool.clear()
+        assert len(pool) == 0
+        assert not pool.conflicts(tx1)

@@ -1,0 +1,161 @@
+"""Tests for network construction, funding and transaction workloads."""
+
+import pytest
+
+from repro.workloads.generators import TransactionWorkload, WorkloadConfig, fund_nodes
+from repro.workloads.network_gen import NetworkParameters, build_network
+from repro.workloads.scenarios import POLICY_NAMES, build_policy, build_scenario
+
+
+class TestNetworkParameters:
+    def test_defaults_valid(self):
+        NetworkParameters()
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkParameters(node_count=1)
+
+    def test_with_overrides(self):
+        params = NetworkParameters(node_count=50, seed=1)
+        changed = params.with_overrides(seed=2)
+        assert changed.seed == 2
+        assert changed.node_count == 50
+        assert params.seed == 1
+
+
+class TestBuildNetwork:
+    def test_builds_requested_node_count(self, small_network):
+        assert small_network.node_count == 30
+        assert small_network.network.node_count == 30
+
+    def test_nodes_share_genesis(self, small_network):
+        hashes = {node.blockchain.genesis.block_hash for node in small_network.nodes.values()}
+        assert len(hashes) == 1
+
+    def test_all_nodes_online_and_in_seed(self, small_network):
+        assert len(small_network.network.online_node_ids()) == 30
+        assert small_network.seed_service.online_count() == 30
+
+    def test_no_links_before_policy(self, small_network):
+        assert small_network.network.topology.link_count == 0
+
+    def test_same_seed_same_positions(self):
+        a = build_network(NetworkParameters(node_count=20, seed=3))
+        b = build_network(NetworkParameters(node_count=20, seed=3))
+        positions_a = [(n.position.latitude, n.position.longitude) for n in a.nodes.values()]
+        positions_b = [(n.position.latitude, n.position.longitude) for n in b.nodes.values()]
+        assert positions_a == positions_b
+
+    def test_different_seed_different_positions(self):
+        a = build_network(NetworkParameters(node_count=20, seed=3))
+        b = build_network(NetworkParameters(node_count=20, seed=4))
+        positions_a = [(n.position.latitude, n.position.longitude) for n in a.nodes.values()]
+        positions_b = [(n.position.latitude, n.position.longitude) for n in b.nodes.values()]
+        assert positions_a != positions_b
+
+    def test_bandwidth_model_optional(self):
+        without = build_network(NetworkParameters(node_count=10, seed=1, use_bandwidth_model=False))
+        assert without.bandwidth_model is None
+
+
+class TestFunding:
+    def test_funding_gives_spendable_balance(self, small_network):
+        fund_nodes(list(small_network.nodes.values()), amount_satoshi=500, outputs_per_node=2)
+        for node in small_network.nodes.values():
+            assert node.balance() == 1000
+            assert len(node.spendable_outputs()) == 2
+            assert node.blockchain.height == 1
+
+    def test_all_nodes_agree_on_funding_block(self, small_network):
+        block = fund_nodes(list(small_network.nodes.values()))
+        tips = {node.blockchain.tip.block_hash for node in small_network.nodes.values()}
+        assert tips == {block.block_hash}
+
+    def test_partial_funding(self, small_network):
+        fund_nodes(list(small_network.nodes.values()), funded_node_ids=[0, 1])
+        assert small_network.node(0).balance() > 0
+        assert small_network.node(5).balance() == 0
+
+    def test_unknown_funded_id_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            fund_nodes(list(small_network.nodes.values()), funded_node_ids=[999])
+
+    def test_double_funding_rejected(self, small_network):
+        nodes = list(small_network.nodes.values())
+        fund_nodes(nodes)
+        with pytest.raises(ValueError):
+            fund_nodes(nodes)
+
+    def test_invalid_amounts_rejected(self, small_network):
+        nodes = list(small_network.nodes.values())
+        with pytest.raises(ValueError):
+            fund_nodes(nodes, amount_satoshi=0)
+        with pytest.raises(ValueError):
+            fund_nodes(nodes, outputs_per_node=0)
+        with pytest.raises(ValueError):
+            fund_nodes([])
+
+
+class TestTransactionWorkload:
+    def test_workload_generates_transactions(self):
+        scenario = build_scenario("bitcoin", NetworkParameters(node_count=20, seed=6))
+        simulated = scenario.network
+        fund_nodes(list(simulated.nodes.values()), outputs_per_node=10)
+        workload = TransactionWorkload(
+            simulated.simulator,
+            simulated.nodes,
+            simulated.simulator.random.stream("workload"),
+            WorkloadConfig(transactions_per_second=2.0, sender_count=5),
+        )
+        workload.start()
+        simulated.simulator.run(until=20.0)
+        workload.stop()
+        assert workload.transactions_created > 10
+        assert len(workload.senders) == 5
+        # Generated transactions actually propagate.
+        mempool_sizes = [len(node.mempool) for node in simulated.nodes.values()]
+        assert max(mempool_sizes) > 0
+
+    def test_double_start_rejected(self, small_network):
+        workload = TransactionWorkload(
+            small_network.simulator,
+            small_network.nodes,
+            small_network.simulator.random.stream("w"),
+        )
+        workload.start()
+        with pytest.raises(RuntimeError):
+            workload.start()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(transactions_per_second=0.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(sender_count=0)
+
+
+class TestScenarios:
+    def test_policy_names_constant(self):
+        assert set(POLICY_NAMES) == {"bitcoin", "lbc", "bcbpt"}
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_build_scenario_for_every_policy(self, name):
+        scenario = build_scenario(name, NetworkParameters(node_count=25, seed=8))
+        assert scenario.name == name
+        assert scenario.build_report.node_count == 25
+        assert scenario.network.network.topology.is_connected()
+
+    def test_unknown_policy_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            build_policy("mystery", small_network)
+
+    def test_threshold_passed_to_bcbpt(self, small_network):
+        policy = build_policy("bcbpt", small_network, latency_threshold_s=0.07)
+        assert policy.config.latency_threshold_s == pytest.approx(0.07)
+
+    def test_same_parameters_give_same_node_placement_across_policies(self):
+        params = NetworkParameters(node_count=25, seed=8)
+        a = build_scenario("bitcoin", params)
+        b = build_scenario("bcbpt", params)
+        pos_a = [(n.position.latitude, n.position.longitude) for n in a.network.nodes.values()]
+        pos_b = [(n.position.latitude, n.position.longitude) for n in b.network.nodes.values()]
+        assert pos_a == pos_b
