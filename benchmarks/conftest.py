@@ -9,7 +9,10 @@ run and a paper-scale reproduction:
 * ``REPRO_BENCH_NODES``  — network size (default 200; the paper used ~5000);
 * ``REPRO_BENCH_RUNS``   — repetitions per measuring node (default 10; the
   paper averaged ~1000 runs);
-* ``REPRO_BENCH_SEEDS``  — comma-separated master seeds (default "3,11,23").
+* ``REPRO_BENCH_SEEDS``  — comma-separated master seeds (default "3,11,23");
+* ``REPRO_BENCH_WORKERS`` — processes for (protocol, seed) fan-out (default:
+  one per CPU, capped at 4; results are identical for every worker count —
+  see ``repro.experiments.parallel``).
 """
 
 from __future__ import annotations
@@ -47,6 +50,7 @@ def bench_config() -> ExperimentConfig:
         runs=_env_int("REPRO_BENCH_RUNS", 10),
         seeds=_env_seeds("REPRO_BENCH_SEEDS", (3, 11, 23)),
         measuring_nodes=_env_int("REPRO_BENCH_MEASURING_NODES", 3),
+        workers=_env_int("REPRO_BENCH_WORKERS", min(4, os.cpu_count() or 1)),
     )
 
 

@@ -5,6 +5,9 @@ from __future__ import annotations
 import math
 
 import pytest
+#: Full figure/extension regeneration; skipped in the quick CI lane.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments.doublespend import build_report, run_doublespend
 

@@ -1,0 +1,75 @@
+"""Kernel fast-path regression guard.
+
+Unlike the figure benchmarks (which are marked ``slow``), this module runs in
+the quick ``-m "not slow"`` lane: it executes a fixed number of events through
+the no-trace fast path under a *generous* wall-clock bound, so a kernel
+regression (rich heap comparisons, per-event allocation, tracer overhead
+creeping back in) fails loudly without tying CI to machine speed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.protocol.messages import InvMessage, InventoryType
+from repro.sim.engine import Simulator
+from repro.workloads.network_gen import NetworkParameters, build_network
+
+#: Events pushed through the bare engine loop.
+EVENT_COUNT = 200_000
+
+#: Generous upper bound: the kernel does this in well under a second on any
+#: recent machine; a 10x regression still passes only on severely loaded CI.
+WALL_CLOCK_BOUND_S = 10.0
+
+
+def test_no_trace_fastpath_executes_fixed_event_count_quickly():
+    simulator = Simulator(seed=1, trace=False)
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    for index in range(EVENT_COUNT):
+        simulator.schedule(index * 1e-6, tick)
+    start = time.perf_counter()
+    simulator.run()
+    elapsed = time.perf_counter() - start
+    assert fired[0] == EVENT_COUNT
+    assert simulator.events_executed == EVENT_COUNT
+    # The whole point of the no-trace fast path: nothing was recorded.
+    assert len(simulator.tracer) == 0
+    assert elapsed < WALL_CLOCK_BOUND_S, (
+        f"event kernel regressed: {EVENT_COUNT} events took {elapsed:.2f}s "
+        f"(bound {WALL_CLOCK_BOUND_S}s)"
+    )
+
+
+def test_broadcast_fastpath_message_volume_under_bound():
+    """Drive the batched-broadcast + delivery path, not just bare events."""
+    simulated = build_network(NetworkParameters(node_count=40, seed=9))
+    network = simulated.network
+    ids = simulated.node_ids()
+    for index, node_id in enumerate(ids):
+        network.connect(node_id, ids[(index + 1) % len(ids)])
+        network.connect(node_id, ids[(index + 2) % len(ids)])
+        network.connect(node_id, ids[(index + 5) % len(ids)])
+    rounds = 200
+    start = time.perf_counter()
+    for round_index in range(rounds):
+        for node_id in ids:
+            network.broadcast(
+                node_id,
+                InvMessage(
+                    sender=node_id,
+                    inventory_type=InventoryType.TRANSACTION,
+                    hashes=(f"tx-{round_index}-{node_id}",),
+                ),
+            )
+        simulated.simulator.run(until=simulated.simulator.now + 1.0)
+    elapsed = time.perf_counter() - start
+    assert network.total_messages() > rounds * len(ids)
+    assert elapsed < WALL_CLOCK_BOUND_S, (
+        f"broadcast path regressed: {rounds} rounds took {elapsed:.2f}s "
+        f"(bound {WALL_CLOCK_BOUND_S}s)"
+    )

@@ -8,6 +8,9 @@ both the LBC protocol and the unmodified Bitcoin protocol.
 from __future__ import annotations
 
 import pytest
+#: Full figure/extension regeneration; skipped in the quick CI lane.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments.fig3 import build_report, expected_ordering_holds, run_fig3
 

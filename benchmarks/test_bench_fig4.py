@@ -8,6 +8,9 @@ delay, because clusters stay smaller and their links shorter.
 from __future__ import annotations
 
 import pytest
+#: Full figure/extension regeneration; skipped in the quick CI lane.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments.fig4 import build_report, run_fig4, variance_is_monotone
 

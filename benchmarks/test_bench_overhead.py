@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import pytest
+#: Full figure/extension regeneration; skipped in the quick CI lane.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments.overhead import build_report, run_overhead
 

@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import pytest
+#: Full figure/extension regeneration; skipped in the quick CI lane.
+pytestmark = pytest.mark.slow
+
 
 from repro.experiments.threshold_sweep import build_report, run_threshold_sweep
 

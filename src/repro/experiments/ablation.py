@@ -22,8 +22,9 @@ from typing import Optional, Sequence
 
 from repro.core.bcbpt import BcbptConfig, BcbptPolicy
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import AblationJob, ParallelRunner, run_ablation_job
 from repro.experiments.reporting import ExperimentReport, format_table
-from repro.experiments.runner import PropagationExperiment
+from repro.measurement.stats import DelayDistribution
 from repro.protocol.node import NodeConfig
 from repro.workloads.network_gen import NetworkParameters, build_network
 from repro.workloads.scenarios import Scenario
@@ -41,7 +42,7 @@ class AblationPoint:
     average_path_length: float
 
 
-def _bcbpt_scenario(
+def build_ablation_scenario(
     cfg: ExperimentConfig,
     seed: int,
     *,
@@ -69,36 +70,62 @@ def _bcbpt_scenario(
     return Scenario(name="bcbpt", network=simulated, policy=policy, build_report=report)
 
 
-def _measure_variant(cfg: ExperimentConfig, variant: str, **knobs: object) -> AblationPoint:
-    delays = None
-    degrees: list[float] = []
-    path_lengths: list[float] = []
-    for seed in cfg.seeds:
-        scenario = _bcbpt_scenario(cfg, seed, **knobs)
-        topology = scenario.network.network.topology
-        degrees.append(topology.average_degree())
-        path_lengths.append(topology.average_shortest_path_length())
-        result = PropagationExperiment(scenario, cfg).run()
-        delays = result.delays if delays is None else delays.merge(result.delays)
-    assert delays is not None
-    stats = delays.summary()
-    return AblationPoint(
-        variant=variant,
-        mean_delay_s=stats["mean_s"],
-        variance_s2=stats["variance_s2"],
-        p90_delay_s=stats["p90_s"],
-        average_degree=sum(degrees) / len(degrees),
-        average_path_length=sum(path_lengths) / len(path_lengths),
-    )
+def _measure_variants(
+    cfg: ExperimentConfig, variants: Sequence[tuple[str, dict[str, object]]]
+) -> list[AblationPoint]:
+    """Measure several ablation variants, fanning (variant, seed) jobs out.
+
+    Jobs merge in submission order, so results are identical for every worker
+    count.
+    """
+    jobs = [
+        AblationJob(
+            variant=variant,
+            seed=seed,
+            verification_enabled=bool(knobs.get("verification_enabled", True)),
+            long_links_per_node=int(knobs.get("long_links_per_node", 2)),
+            config=cfg,
+        )
+        for variant, knobs in variants
+        for seed in cfg.seeds
+    ]
+    job_results = ParallelRunner.from_config(cfg).map_jobs(run_ablation_job, jobs)
+
+    points: list[AblationPoint] = []
+    seeds_per_variant = len(cfg.seeds)
+    for index, (variant, _) in enumerate(variants):
+        seed_results = job_results[index * seeds_per_variant : (index + 1) * seeds_per_variant]
+        delays = DelayDistribution()
+        degrees: list[float] = []
+        path_lengths: list[float] = []
+        for seed_result in seed_results:
+            delays.extend(seed_result.delay_samples)
+            degrees.append(seed_result.average_degree)
+            path_lengths.append(seed_result.average_path_length)
+        stats = delays.summary()
+        points.append(
+            AblationPoint(
+                variant=variant,
+                mean_delay_s=stats["mean_s"],
+                variance_s2=stats["variance_s2"],
+                p90_delay_s=stats["p90_s"],
+                average_degree=sum(degrees) / len(degrees),
+                average_path_length=sum(path_lengths) / len(path_lengths),
+            )
+        )
+    return points
 
 
 def run_verification_ablation(config: Optional[ExperimentConfig] = None) -> list[AblationPoint]:
     """BCBPT with per-hop verification delay charged vs pipelined (skipped)."""
     cfg = config if config is not None else ExperimentConfig()
-    return [
-        _measure_variant(cfg, "verify-then-relay", verification_enabled=True),
-        _measure_variant(cfg, "pipelined-relay", verification_enabled=False),
-    ]
+    return _measure_variants(
+        cfg,
+        [
+            ("verify-then-relay", {"verification_enabled": True}),
+            ("pipelined-relay", {"verification_enabled": False}),
+        ],
+    )
 
 
 def run_long_link_ablation(
@@ -107,10 +134,10 @@ def run_long_link_ablation(
 ) -> list[AblationPoint]:
     """BCBPT with different numbers of long-distance links per node."""
     cfg = config if config is not None else ExperimentConfig()
-    return [
-        _measure_variant(cfg, f"long-links={count}", long_links_per_node=count)
-        for count in counts
-    ]
+    return _measure_variants(
+        cfg,
+        [(f"long-links={count}", {"long_links_per_node": count}) for count in counts],
+    )
 
 
 def build_report(

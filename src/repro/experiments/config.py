@@ -36,6 +36,11 @@ class ExperimentConfig:
         funding_outputs_per_node: confirmed outputs funded per node (must be
             at least ``runs`` for measuring nodes).
         run_timeout_s: per-repetition simulated-time budget.
+        workers: processes used to fan (protocol, seed) jobs out.  1 (the
+            default) runs the bit-exact serial path in-process; 0 means "one
+            per CPU"; higher values use a :class:`~repro.experiments.parallel.
+            ParallelRunner`, whose merge step reproduces the serial aggregates
+            exactly, so results are identical for every worker count.
     """
 
     node_count: int = 200
@@ -49,6 +54,7 @@ class ExperimentConfig:
     payment_satoshi: int = 10_000
     funding_outputs_per_node: int = 0
     run_timeout_s: float = 60.0
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.node_count < 10:
@@ -69,6 +75,8 @@ class ExperimentConfig:
             raise ValueError("payment_satoshi must be positive")
         if self.run_timeout_s <= 0:
             raise ValueError("run_timeout_s must be positive")
+        if self.workers < 0:
+            raise ValueError("workers cannot be negative (0 means one per CPU)")
 
     @property
     def funding_outputs(self) -> int:
@@ -96,6 +104,12 @@ class ExperimentConfig:
         parser.add_argument(
             "--threshold-ms", type=float, default=None, help="BCBPT latency threshold in ms"
         )
+        parser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker processes for (protocol, seed) jobs (1 = serial, 0 = one per CPU)",
+        )
 
     @staticmethod
     def from_cli(args: argparse.Namespace, base: Optional["ExperimentConfig"] = None) -> "ExperimentConfig":
@@ -112,6 +126,8 @@ class ExperimentConfig:
             overrides["measuring_nodes"] = args.measuring_nodes
         if args.threshold_ms is not None:
             overrides["latency_threshold_s"] = args.threshold_ms / 1000.0
+        if getattr(args, "workers", None) is not None:
+            overrides["workers"] = args.workers
         if overrides:
             config = config.with_overrides(**overrides)
         return config

@@ -26,14 +26,32 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    DoubleSpendJob,
+    DoubleSpendJobResult,
+    ParallelRunner,
+    run_doublespend_job,
+)
 from repro.experiments.reporting import ExperimentReport, format_table
-from repro.protocol.doublespend import DoubleSpendAttacker, tally_first_seen
+from repro.protocol.doublespend import DoubleSpendAttacker, merchant_detection, tally_first_seen
 from repro.protocol.messages import TxMessage
+from repro.protocol.node import NodeConfig
 from repro.workloads.generators import fund_nodes
 from repro.workloads.network_gen import NetworkParameters
 from repro.workloads.scenarios import build_scenario
 
 DOUBLESPEND_PROTOCOLS = ("bitcoin", "lbc", "bcbpt")
+
+
+def mean_detection_time_s(detection_times_s: Sequence[float]) -> float:
+    """Mean merchant detection time; NaN when no race was detected.
+
+    NaN (rather than 0.0 or an exception) keeps "never detected" visibly
+    distinct from "detected instantly" in reports and comparisons.
+    """
+    if not detection_times_s:
+        return float("nan")
+    return sum(detection_times_s) / len(detection_times_s)
 
 
 @dataclass(frozen=True)
@@ -58,77 +76,112 @@ def run_doublespend(
     race_horizon_s: float = 2.0,
     protocols: Sequence[str] = DOUBLESPEND_PROTOCOLS,
 ) -> list[DoubleSpendPoint]:
-    """Stage repeated double-spend races under each protocol."""
+    """Stage repeated double-spend races under each protocol.
+
+    (protocol, seed) race batches are independent simulations; they fan out
+    over ``cfg.workers`` processes and merge in submission order, so the
+    outcome is identical for every worker count.
+    """
     if races_per_seed <= 0:
         raise ValueError("races_per_seed must be positive")
     if race_horizon_s <= 0:
         raise ValueError("race_horizon_s must be positive")
     cfg = config if config is not None else ExperimentConfig()
+    jobs = [
+        DoubleSpendJob(
+            protocol=protocol,
+            seed=seed,
+            races_per_seed=races_per_seed,
+            race_horizon_s=race_horizon_s,
+            config=cfg,
+        )
+        for protocol in protocols
+        for seed in cfg.seeds
+    ]
+    job_results = ParallelRunner.from_config(cfg).map_jobs(run_doublespend_job, jobs)
+
     points: list[DoubleSpendPoint] = []
-    for protocol in protocols:
-        shares: list[float] = []
-        detection_times: list[float] = []
-        detections = 0
-        races = 0
-        for seed in cfg.seeds:
-            scenario = build_scenario(
-                protocol,
-                NetworkParameters(node_count=cfg.node_count, seed=seed),
-                latency_threshold_s=cfg.latency_threshold_s,
-                max_outbound=cfg.max_outbound,
-            )
-            simulated = scenario.network
-            network = simulated.network
-            simulator = simulated.simulator
-            nodes = list(simulated.nodes.values())
-            fund_nodes(nodes, outputs_per_node=races_per_seed + 1)
-            rng = simulator.random.stream("doublespend")
-            node_ids = simulated.node_ids()
-            attacker_id = node_ids[0]
-            merchant_id = node_ids[len(node_ids) // 2]
-            remote_id = node_ids[-1]
-            attacker_node = simulated.node(attacker_id)
-            merchant_node = simulated.node(merchant_id)
-            attacker = DoubleSpendAttacker(attacker_node, simulated.node(merchant_id).keypair.address)
-            for _ in range(races_per_seed):
-                pair = attacker.build_pair(cfg.payment_satoshi, created_at=simulator.now)
-                start = simulator.now
-                # Victim copy straight to the merchant, attacker copy to a
-                # distant node, at the same instant.
-                merchant_node.accept_transaction(pair.victim_tx, origin_peer=None)
-                merchant_node.announce_transaction(pair.victim_tx.txid)
-                network.send(
-                    attacker_id,
-                    remote_peer_for(network, attacker_id, remote_id),
-                    TxMessage(sender=attacker_id, transaction=pair.attacker_tx),
-                )
-                simulator.run(until=start + race_horizon_s)
-                races += 1
-                outcome = tally_first_seen(nodes, pair)
-                shares.append(outcome.attacker_share)
-                if pair.attacker_tx.txid in merchant_node.known_transactions:
-                    detections += 1
-                    detection_times.append(race_horizon_s)
-                # Detection time: when the merchant first learned of the
-                # attacker transaction (reception implies knowledge).
-                accept_time = None
-                for node in nodes:
-                    if node.node_id == merchant_id:
-                        accept_time = node.transaction_accept_times.get(pair.attacker_tx.txid)
-                if accept_time is not None and detection_times:
-                    detection_times[-1] = accept_time - start
+    seeds_per_protocol = len(cfg.seeds)
+    for index, protocol in enumerate(protocols):
+        seed_results = job_results[index * seeds_per_protocol : (index + 1) * seeds_per_protocol]
+        shares = [share for r in seed_results for share in r.attacker_shares]
+        detection_times = [t for r in seed_results for t in r.detection_times_s]
+        detections = sum(r.detections for r in seed_results)
+        races = sum(r.races for r in seed_results)
         points.append(
             DoubleSpendPoint(
                 protocol=protocol,
                 races=races,
                 mean_attacker_share=sum(shares) / len(shares) if shares else 0.0,
-                mean_detection_time_s=(
-                    sum(detection_times) / len(detection_times) if detection_times else float("nan")
-                ),
+                mean_detection_time_s=mean_detection_time_s(detection_times),
                 detection_rate=detections / races if races else 0.0,
             )
         )
     return points
+
+
+def run_doublespend_seed(job: DoubleSpendJob) -> DoubleSpendJobResult:
+    """Stage one seed's races under one protocol (the parallel job body)."""
+    cfg = job.config
+    scenario = build_scenario(
+        job.protocol,
+        NetworkParameters(
+            node_count=cfg.node_count,
+            seed=job.seed,
+            # Detection requires double-spend alerts: without them the
+            # conflicting transaction halts at the first-seen frontier and
+            # the merchant never hears of it (the old detection_rate=0 bug).
+            node_config=NodeConfig(relay_conflicts=True),
+        ),
+        latency_threshold_s=cfg.latency_threshold_s,
+        max_outbound=cfg.max_outbound,
+    )
+    simulated = scenario.network
+    network = simulated.network
+    simulator = simulated.simulator
+    nodes = list(simulated.nodes.values())
+    fund_nodes(nodes, outputs_per_node=job.races_per_seed + 1)
+    node_ids = simulated.node_ids()
+    attacker_id = node_ids[0]
+    merchant_id = node_ids[len(node_ids) // 2]
+    remote_id = node_ids[-1]
+    attacker_node = simulated.node(attacker_id)
+    merchant_node = simulated.node(merchant_id)
+    attacker = DoubleSpendAttacker(attacker_node, merchant_node.keypair.address)
+    shares: list[float] = []
+    detection_times: list[float] = []
+    detections = 0
+    races = 0
+    for _ in range(job.races_per_seed):
+        pair = attacker.build_pair(cfg.payment_satoshi, created_at=simulator.now)
+        start = simulator.now
+        # Victim copy straight to the merchant, attacker copy to a distant
+        # node, at the same instant.
+        merchant_node.accept_transaction(pair.victim_tx, origin_peer=None)
+        merchant_node.announce_transaction(pair.victim_tx.txid)
+        network.send(
+            attacker_id,
+            remote_peer_for(network, attacker_id, remote_id),
+            TxMessage(sender=attacker_id, transaction=pair.attacker_tx),
+        )
+        simulator.run(until=start + job.race_horizon_s)
+        races += 1
+        outcome = tally_first_seen(nodes, pair)
+        shares.append(outcome.attacker_share)
+        detected, detection_time = merchant_detection(
+            merchant_node, pair, start_time=start, horizon_s=job.race_horizon_s
+        )
+        if detected:
+            detections += 1
+            detection_times.append(detection_time)
+    return DoubleSpendJobResult(
+        protocol=job.protocol,
+        seed=job.seed,
+        races=races,
+        attacker_shares=tuple(shares),
+        detections=detections,
+        detection_times_s=tuple(detection_times),
+    )
 
 
 def remote_peer_for(network, attacker_id: int, preferred: int) -> int:

@@ -1,0 +1,300 @@
+"""Parallel experiment execution.
+
+Every figure and extension in this repository aggregates *independent*
+(protocol, seed) simulations: each job builds its own network from one master
+seed, runs its own :class:`~repro.sim.engine.Simulator`, and the driver merges
+the per-job results.  That independence is what :class:`ParallelRunner`
+exploits — jobs fan out over a process pool and a deterministic merge step
+(performed by each driver, in job-submission order) reproduces the exact
+serial aggregates.
+
+Determinism contract
+--------------------
+
+* Each job derives **all** of its randomness from its own master seed through
+  :class:`~repro.sim.rng.RandomService`, so a job's result does not depend on
+  which process runs it, or when.
+* ``map_jobs`` returns results **in submission order**, regardless of
+  completion order, so driver-side merges see the same sequence as the serial
+  loop.
+* ``workers <= 1`` does not touch ``multiprocessing`` at all: the job function
+  is invoked inline, which is the bit-exact serial path.
+
+Consequently ``workers=1`` and ``workers=N`` produce identical results — the
+only difference is wall-clock time.
+
+Job specifications must be picklable (frozen dataclasses of plain values) and
+the job function must be a module-level callable, so specs survive the trip
+through a process pool under every start method.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, TypeVar
+
+import multiprocessing
+
+from repro.experiments.config import ExperimentConfig
+
+JobT = TypeVar("JobT")
+ResultT = TypeVar("ResultT")
+
+
+def resolve_workers(workers: int, job_count: int) -> int:
+    """Effective process count for ``workers`` over ``job_count`` jobs.
+
+    0 means "one per CPU"; the result is never larger than the number of jobs
+    (extra processes would only add fork overhead) and never smaller than 1.
+    """
+    if workers < 0:
+        raise ValueError("workers cannot be negative")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, job_count))
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context used for worker pools.
+
+    ``fork`` is preferred where available: workers inherit the imported
+    package (no re-import per process) and start in milliseconds.  Platforms
+    without ``fork`` fall back to the default start method.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ParallelRunner:
+    """Fans picklable job specs out over a process pool, preserving order.
+
+    Args:
+        workers: worker processes; 0 means one per CPU, and 1 (the default)
+            executes jobs inline with no multiprocessing involved.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 0:
+            raise ValueError("workers cannot be negative (0 means one per CPU)")
+        self.workers = workers
+
+    @classmethod
+    def from_config(cls, config: ExperimentConfig) -> "ParallelRunner":
+        """Runner configured from :attr:`ExperimentConfig.workers`."""
+        return cls(workers=config.workers)
+
+    def map_jobs(
+        self,
+        job_fn: Callable[[JobT], ResultT],
+        jobs: Sequence[JobT],
+    ) -> list[ResultT]:
+        """Run ``job_fn`` over every job, returning results in job order.
+
+        ``job_fn`` must be a module-level function and every job spec must be
+        picklable when more than one worker is used.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        workers = resolve_workers(self.workers, len(jobs))
+        if workers <= 1:
+            return [job_fn(job) for job in jobs]
+        with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
+            return list(pool.map(job_fn, jobs, chunksize=1))
+
+
+# --------------------------------------------------------------------- jobs
+@dataclass(frozen=True)
+class PropagationJob:
+    """One (protocol label, seed) propagation campaign.
+
+    Attributes:
+        label: protocol label as reported in results (may carry a threshold
+            suffix, e.g. ``"bcbpt@50ms"``).
+        policy_name: the underlying policy to build (``"bitcoin"``, ``"lbc"``
+            or ``"bcbpt"``).
+        threshold_s: BCBPT latency threshold ``d_t`` in seconds.
+        seed: master seed for the job's network and simulator.
+        config: shared experiment configuration.
+    """
+
+    label: str
+    policy_name: str
+    threshold_s: float
+    seed: int
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class PropagationJobResult:
+    """Everything the serial merge reads from one propagation campaign."""
+
+    label: str
+    seed: int
+    result: object  # PropagationResult; typed loosely to avoid an import cycle
+    cluster_summary: dict[str, float]
+    build_report: object
+
+
+def run_propagation_job(job: PropagationJob) -> PropagationJobResult:
+    """Execute one (protocol, seed) campaign — the process-pool entry point."""
+    # Imported lazily: this module is imported by config-level code and the
+    # experiment runner imports us back for the fan-out.
+    from repro.experiments.runner import PropagationExperiment
+    from repro.workloads.network_gen import NetworkParameters
+    from repro.workloads.scenarios import build_scenario
+
+    parameters = NetworkParameters(node_count=job.config.node_count, seed=job.seed)
+    scenario = build_scenario(
+        job.policy_name,
+        parameters,
+        latency_threshold_s=job.threshold_s,
+        max_outbound=job.config.max_outbound,
+    )
+    scenario.name = job.label
+    experiment = PropagationExperiment(scenario, job.config)
+    result = experiment.run()
+    return PropagationJobResult(
+        label=job.label,
+        seed=job.seed,
+        result=result,
+        cluster_summary=result.cluster_summaries[job.seed],
+        build_report=result.build_reports[job.seed],
+    )
+
+
+@dataclass(frozen=True)
+class DoubleSpendJob:
+    """One (protocol, seed) batch of double-spend races."""
+
+    protocol: str
+    seed: int
+    races_per_seed: int
+    race_horizon_s: float
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class DoubleSpendJobResult:
+    """Per-(protocol, seed) race tallies, merged by the driver."""
+
+    protocol: str
+    seed: int
+    races: int
+    attacker_shares: tuple[float, ...]
+    detections: int
+    detection_times_s: tuple[float, ...]
+
+
+def run_doublespend_job(job: DoubleSpendJob) -> DoubleSpendJobResult:
+    """Stage one seed's double-spend races — the process-pool entry point."""
+    from repro.experiments.doublespend import run_doublespend_seed
+
+    return run_doublespend_seed(job)
+
+
+@dataclass(frozen=True)
+class ThresholdJob:
+    """One (threshold, seed) BCBPT campaign for the fine-grained sweep."""
+
+    threshold_s: float
+    seed: int
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class ThresholdJobResult:
+    """Per-(threshold, seed) measurements merged by the sweep driver."""
+
+    threshold_s: float
+    seed: int
+    delay_samples: tuple[float, ...]
+    cluster_count: float
+    mean_cluster_size: float
+    mean_link_rtt_s: Optional[float]
+    long_link_fraction: Optional[float]
+
+
+def run_threshold_job(job: ThresholdJob) -> ThresholdJobResult:
+    """Execute one sweep point — the process-pool entry point."""
+    from repro.experiments.runner import PropagationExperiment
+    from repro.workloads.network_gen import NetworkParameters
+    from repro.workloads.scenarios import build_scenario
+
+    scenario = build_scenario(
+        "bcbpt",
+        NetworkParameters(node_count=job.config.node_count, seed=job.seed),
+        latency_threshold_s=job.threshold_s,
+        max_outbound=job.config.max_outbound,
+    )
+    experiment = PropagationExperiment(scenario, job.config)
+    result = experiment.run()
+    summary = scenario.policy.clusters.summary()
+    network = scenario.network.network
+    links = list(network.topology.links())
+    mean_link_rtt_s: Optional[float] = None
+    long_link_fraction: Optional[float] = None
+    if links:
+        mean_link_rtt_s = sum(
+            network.base_rtt(link.node_a, link.node_b) for link in links
+        ) / len(links)
+        long_link_fraction = sum(1 for link in links if link.is_long_link) / len(links)
+    return ThresholdJobResult(
+        threshold_s=job.threshold_s,
+        seed=job.seed,
+        delay_samples=tuple(result.delays.samples),
+        cluster_count=summary["cluster_count"],
+        mean_cluster_size=summary["mean_size"],
+        mean_link_rtt_s=mean_link_rtt_s,
+        long_link_fraction=long_link_fraction,
+    )
+
+
+@dataclass(frozen=True)
+class AblationJob:
+    """One (variant, seed) BCBPT ablation measurement."""
+
+    variant: str
+    seed: int
+    verification_enabled: bool
+    long_links_per_node: int
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class AblationJobResult:
+    """Per-(variant, seed) measurements merged by the ablation driver."""
+
+    variant: str
+    seed: int
+    delay_samples: tuple[float, ...]
+    average_degree: float
+    average_path_length: float
+
+
+def run_ablation_job(job: AblationJob) -> AblationJobResult:
+    """Execute one ablation point — the process-pool entry point."""
+    from repro.experiments.ablation import build_ablation_scenario
+    from repro.experiments.runner import PropagationExperiment
+
+    scenario = build_ablation_scenario(
+        job.config,
+        job.seed,
+        verification_enabled=job.verification_enabled,
+        long_links_per_node=job.long_links_per_node,
+    )
+    topology = scenario.network.network.topology
+    average_degree = topology.average_degree()
+    average_path_length = topology.average_shortest_path_length()
+    result = PropagationExperiment(scenario, job.config).run()
+    return AblationJobResult(
+        variant=job.variant,
+        seed=job.seed,
+        delay_samples=tuple(result.delays.samples),
+        average_degree=average_degree,
+        average_path_length=average_path_length,
+    )

@@ -10,7 +10,11 @@ one built :class:`~repro.workloads.scenarios.Scenario`:
 
 :func:`run_protocol_comparison` repeats that over several protocols and seeds
 on *identically parameterised* networks — the controlled comparison behind
-Fig. 3 — and returns per-protocol aggregates.
+Fig. 3 — and returns per-protocol aggregates.  Because every (protocol, seed)
+job is an independent simulation, the comparison fans jobs out over a
+:class:`~repro.experiments.parallel.ParallelRunner` when
+``config.workers != 1``; the merge below consumes job results in submission
+order, so the aggregates are identical for every worker count.
 """
 
 from __future__ import annotations
@@ -19,11 +23,11 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import ParallelRunner, PropagationJob, run_propagation_job
 from repro.measurement.measuring_node import CampaignResult, MeasurementCampaign, MeasuringNode
 from repro.measurement.stats import DelayDistribution
 from repro.workloads.generators import fund_nodes
-from repro.workloads.network_gen import NetworkParameters
-from repro.workloads.scenarios import Scenario, build_scenario
+from repro.workloads.scenarios import Scenario
 
 
 @dataclass
@@ -148,29 +152,36 @@ def run_protocol_comparison(
     Returns:
         Label -> pooled :class:`PropagationResult` across all seeds.
     """
+    jobs = [
+        PropagationJob(
+            label=label,
+            policy_name=policy_name,
+            threshold_s=threshold,
+            seed=seed,
+            config=config,
+        )
+        for label in protocols
+        for policy_name, threshold in (_parse_label(label, config, thresholds),)
+        for seed in config.seeds
+    ]
+    runner = ParallelRunner.from_config(config)
+    job_results = runner.map_jobs(run_propagation_job, jobs)
+
+    # Merge in submission order — exactly the order the serial nested loop
+    # used, so pooled aggregates are identical for every worker count.
     results: dict[str, PropagationResult] = {}
-    for label in protocols:
-        policy_name, threshold = _parse_label(label, config, thresholds)
-        pooled = PropagationResult(protocol=label)
-        for seed in config.seeds:
-            parameters = NetworkParameters(node_count=config.node_count, seed=seed)
-            scenario = build_scenario(
-                policy_name,
-                parameters,
-                latency_threshold_s=threshold,
-                max_outbound=config.max_outbound,
-            )
-            scenario.name = label
-            experiment = PropagationExperiment(scenario, config)
-            result = experiment.run()
-            pooled.delays = pooled.delays.merge(result.delays)
-            pooled.per_seed[seed] = result.delays
-            pooled.campaigns.extend(result.campaigns)
-            pooled.cluster_summaries[seed] = result.cluster_summaries[seed]
-            pooled.build_reports[seed] = result.build_reports[seed]
-            for rank, dist in result.per_rank.items():
-                pooled.per_rank.setdefault(rank, DelayDistribution()).extend(dist.samples)
-        results[label] = pooled
+    for job, job_result in zip(jobs, job_results):
+        pooled = results.get(job.label)
+        if pooled is None:
+            pooled = results[job.label] = PropagationResult(protocol=job.label)
+        result = job_result.result
+        pooled.delays = pooled.delays.merge(result.delays)
+        pooled.per_seed[job.seed] = result.delays
+        pooled.campaigns.extend(result.campaigns)
+        pooled.cluster_summaries[job.seed] = job_result.cluster_summary
+        pooled.build_reports[job.seed] = job_result.build_report
+        for rank, dist in result.per_rank.items():
+            pooled.per_rank.setdefault(rank, DelayDistribution()).extend(dist.samples)
     return results
 
 

@@ -16,10 +16,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import ParallelRunner, ThresholdJob, run_threshold_job
 from repro.experiments.reporting import ExperimentReport, format_table
-from repro.experiments.runner import PropagationExperiment
-from repro.workloads.network_gen import NetworkParameters
-from repro.workloads.scenarios import build_scenario
+from repro.measurement.stats import DelayDistribution
 
 #: Default sweep, in seconds (10 ms .. 200 ms, including the paper's values).
 DEFAULT_THRESHOLDS_S = (0.010, 0.025, 0.030, 0.050, 0.075, 0.100, 0.150, 0.200)
@@ -44,38 +43,37 @@ def run_threshold_sweep(
     config: Optional[ExperimentConfig] = None,
     thresholds_s: Sequence[float] = DEFAULT_THRESHOLDS_S,
 ) -> list[ThresholdPoint]:
-    """Measure BCBPT across a range of latency thresholds."""
+    """Measure BCBPT across a range of latency thresholds.
+
+    Each (threshold, seed) point is an independent simulation; they fan out
+    over ``cfg.workers`` processes and merge in submission order, so the sweep
+    result is identical for every worker count.
+    """
     cfg = config if config is not None else ExperimentConfig()
+    jobs = [
+        ThresholdJob(threshold_s=threshold, seed=seed, config=cfg)
+        for threshold in thresholds_s
+        for seed in cfg.seeds
+    ]
+    job_results = ParallelRunner.from_config(cfg).map_jobs(run_threshold_job, jobs)
+
     points: list[ThresholdPoint] = []
-    for threshold in thresholds_s:
-        delays = None
+    seeds_per_point = len(cfg.seeds)
+    for index, threshold in enumerate(thresholds_s):
+        seed_results = job_results[index * seeds_per_point : (index + 1) * seeds_per_point]
+        delays = DelayDistribution()
         cluster_counts: list[float] = []
         cluster_sizes: list[float] = []
         link_rtts: list[float] = []
         long_fractions: list[float] = []
-        for seed in cfg.seeds:
-            scenario = build_scenario(
-                "bcbpt",
-                NetworkParameters(node_count=cfg.node_count, seed=seed),
-                latency_threshold_s=threshold,
-                max_outbound=cfg.max_outbound,
-            )
-            experiment = PropagationExperiment(scenario, cfg)
-            result = experiment.run()
-            delays = result.delays if delays is None else delays.merge(result.delays)
-            summary = scenario.policy.clusters.summary()
-            cluster_counts.append(summary["cluster_count"])
-            cluster_sizes.append(summary["mean_size"])
-            network = scenario.network.network
-            links = list(network.topology.links())
-            if links:
-                link_rtts.append(
-                    sum(network.base_rtt(l.node_a, l.node_b) for l in links) / len(links)
-                )
-                long_fractions.append(
-                    sum(1 for l in links if l.is_long_link) / len(links)
-                )
-        assert delays is not None  # at least one seed is guaranteed by config validation
+        for seed_result in seed_results:
+            delays.extend(seed_result.delay_samples)
+            cluster_counts.append(seed_result.cluster_count)
+            cluster_sizes.append(seed_result.mean_cluster_size)
+            if seed_result.mean_link_rtt_s is not None:
+                link_rtts.append(seed_result.mean_link_rtt_s)
+            if seed_result.long_link_fraction is not None:
+                long_fractions.append(seed_result.long_link_fraction)
         stats = delays.summary()
         points.append(
             ThresholdPoint(

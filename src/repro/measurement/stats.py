@@ -63,8 +63,15 @@ class DelayDistribution:
         return np.asarray(self._samples)
 
     def mean(self) -> float:
-        """Arithmetic mean of the delays."""
-        return float(np.mean(self._require_samples()))
+        """Arithmetic mean of the delays.
+
+        Clamped into ``[min, max]``: numpy's pairwise summation can round the
+        mean of near-identical samples one ulp outside the sample range, which
+        would break the ordering invariants downstream consumers rely on.
+        """
+        data = self._require_samples()
+        mean = float(np.mean(data))
+        return min(max(mean, float(np.min(data))), float(np.max(data)))
 
     def median(self) -> float:
         """Median delay."""

@@ -151,6 +151,16 @@ class LatencyModel:
         self.parameters = parameters if parameters is not None else LatencyParameters()
         #: Per-pair persistent routing: (path-stretch factor, extra detour km).
         self._routing: dict[tuple[int, int], tuple[float, float]] = {}
+        #: Per-pair routed path length cache (positions are immutable for a
+        #: run, so the haversine + detour computation is done once per pair).
+        self._path_km_cache: dict[tuple[int, int], float] = {}
+        # Hot-path constant (parameters are frozen, so this never goes stale).
+        # Computed with the exact Eq. (4) expression so cached and uncached
+        # code paths agree to the last bit.
+        self._queuing_s = self.parameters.ping_message_bytes / (
+            self.parameters.queue_service_rate_bps
+            - self.parameters.ping_arrival_rate_per_s * self.parameters.ping_message_bytes
+        )
 
     # --------------------------------------------------------------- helpers
     @staticmethod
@@ -177,6 +187,30 @@ class LatencyModel:
         factor, extra_km = self._routing_of(node_a, node_b)
         return great_circle_km * factor + extra_km
 
+    def routing_cached(self, node_a: int, node_b: int) -> bool:
+        """Whether the pair's persistent routing has already been drawn.
+
+        The batched jitter path (see :meth:`jitter_factors`) is only
+        stream-exact when no routing draws interleave with the jitter draws,
+        so callers check this before batching.
+        """
+        return self._pair_key(node_a, node_b) in self._routing
+
+    def _path_km_for(
+        self,
+        node_a: int,
+        position_a: GeoPosition,
+        node_b: int,
+        position_b: GeoPosition,
+    ) -> float:
+        """Cached routed path length between two positioned nodes."""
+        key = (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+        cached = self._path_km_cache.get(key)
+        if cached is None:
+            cached = self.path_km(node_a, node_b, position_a.distance_km(position_b))
+            self._path_km_cache[key] = cached
+        return cached
+
     # ------------------------------------------------------------ components
     def transmission_delay_s(self, message_bytes: Optional[float] = None) -> float:
         """``M / rate`` term of Eq. (2) for a message of ``message_bytes``."""
@@ -191,10 +225,7 @@ class LatencyModel:
 
     def queuing_delay_s(self) -> float:
         """Average queuing delay ``q' = M / (r - lambda * M)`` (Eq. 4)."""
-        p = self.parameters
-        return p.ping_message_bytes / (
-            p.queue_service_rate_bps - p.ping_arrival_rate_per_s * p.ping_message_bytes
-        )
+        return self._queuing_s
 
     # ---------------------------------------------------------------- public
     def base_rtt_s(
@@ -205,7 +236,7 @@ class LatencyModel:
         position_b: GeoPosition,
     ) -> float:
         """Deterministic Eq. (2) round-trip time for a node pair in seconds."""
-        distance_km = self.path_km(node_a, node_b, position_a.distance_km(position_b))
+        distance_km = self._path_km_for(node_a, position_a, node_b, position_b)
         rtt = (
             self.transmission_delay_s()
             + 2.0 * self.propagation_delay_s(distance_km)
@@ -221,7 +252,7 @@ class LatencyModel:
         position_b: GeoPosition,
     ) -> LatencySample:
         """One stochastic ping measurement between two nodes."""
-        distance_km = self.path_km(node_a, node_b, position_a.distance_km(position_b))
+        distance_km = self._path_km_for(node_a, position_a, node_b, position_b)
         transmission = self.transmission_delay_s()
         propagation = self.propagation_delay_s(distance_km)
         queuing = self.queuing_delay_s()
@@ -252,24 +283,51 @@ class LatencyModel:
         message_bytes: float,
         *,
         jittered: bool = True,
+        jitter_factor: Optional[float] = None,
     ) -> float:
         """Delivery delay for a single message of ``message_bytes`` from a to b.
 
         Used by the link layer for every protocol message (INV, GETDATA, TX,
         ...): transmission for the actual message size, one propagation leg,
         one queuing term, and optional congestion jitter.
+
+        Args:
+            jitter_factor: pre-drawn congestion jitter multiplier (from
+                :meth:`jitter_factors`); when None, one factor is drawn from
+                the model's stream here.
         """
-        distance_km = self.path_km(node_a, node_b, position_a.distance_km(position_b))
+        distance_km = self._path_km_for(node_a, position_a, node_b, position_b)
         delay = (
             self.transmission_delay_s(message_bytes)
             + self.propagation_delay_s(distance_km)
-            + self.queuing_delay_s()
+            + self._queuing_s
         )
         if jittered and self.parameters.congestion_jitter_sigma > 0:
-            delay *= float(
-                self._rng.lognormal(mean=0.0, sigma=self.parameters.congestion_jitter_sigma)
-            )
+            if jitter_factor is None:
+                jitter_factor = float(
+                    self._rng.lognormal(mean=0.0, sigma=self.parameters.congestion_jitter_sigma)
+                )
+            delay *= jitter_factor
         return max(self.parameters.minimum_rtt_s / 2.0, delay)
+
+    def jitter_factors(self, count: int) -> Optional[np.ndarray]:
+        """Draw ``count`` congestion jitter factors in one batched call.
+
+        numpy ``Generator`` array draws consume the underlying bit stream
+        exactly like the same number of scalar draws, so — provided no other
+        draw on this stream interleaves (callers guarantee that by checking
+        :meth:`routing_cached` for every pair first) — the batch is
+        bit-identical to ``count`` sequential per-message draws.
+
+        Returns:
+            The factors, or None when jitter is disabled (no draws consumed).
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        sigma = self.parameters.congestion_jitter_sigma
+        if sigma <= 0:
+            return None
+        return self._rng.lognormal(mean=0.0, sigma=sigma, size=count)
 
     def pair_has_detour(self, node_a: int, node_b: int) -> bool:
         """Whether the pair's persistent routing includes a significant detour."""

@@ -98,9 +98,19 @@ class LinkDelayCalculator:
         payload: object = None,
         *,
         jittered: bool = True,
+        size_bytes: Optional[int] = None,
+        jitter_factor: Optional[float] = None,
     ) -> float:
-        """Delivery delay in seconds for one protocol message."""
-        size = message_size_bytes(command, payload)
+        """Delivery delay in seconds for one protocol message.
+
+        Args:
+            size_bytes: precomputed wire size (skips re-deriving it from the
+                command/payload — the network layer already sized the message
+                for its byte counters).
+            jitter_factor: pre-drawn congestion jitter multiplier for the
+                batched broadcast path; None draws per-message as usual.
+        """
+        size = size_bytes if size_bytes is not None else message_size_bytes(command, payload)
         delay = self._latency.one_way_delay_s(
             sender_id,
             sender_position,
@@ -108,6 +118,7 @@ class LinkDelayCalculator:
             receiver_position,
             message_bytes=size,
             jittered=jittered,
+            jitter_factor=jitter_factor,
         )
         if self._bandwidth is not None:
             # Replace the flat-rate transmission term with the bottleneck rate.
@@ -120,6 +131,20 @@ class LinkDelayCalculator:
                 delay - flat_transmission + bottleneck_transmission,
             )
         return delay
+
+    def can_batch_jitter(self, sender_id: int, receiver_ids: list[int]) -> bool:
+        """Whether jitter for sends to all ``receiver_ids`` may be batch-drawn.
+
+        True only when every pair's persistent routing is already cached, so
+        the batched draw consumes the latency stream exactly like sequential
+        per-message draws would (see :meth:`LatencyModel.jitter_factors`).
+        """
+        routing_cached = self._latency.routing_cached
+        return all(routing_cached(sender_id, receiver) for receiver in receiver_ids)
+
+    def jitter_factors(self, count: int):
+        """Batch-draw ``count`` congestion jitter factors (None if disabled)."""
+        return self._latency.jitter_factors(count)
 
     def ping_rtt_s(
         self,

@@ -45,7 +45,7 @@ _FIXED_PAYLOADS: dict[str, int] = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WireMessage:
     """A message as seen by the link layer: a command name and a byte size."""
 

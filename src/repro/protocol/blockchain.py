@@ -45,6 +45,10 @@ class Blockchain:
         self._arrival_counter = 1
         self._tip_hash = self._genesis.block_hash
         self._fork_events: list[ForkEvent] = []
+        #: Lazily-built set of txids confirmed by the best chain; invalidated
+        #: whenever the best chain changes.  ``contains_transaction`` is on
+        #: the per-message hot path, so it must not walk the chain each call.
+        self._best_chain_txids: Optional[set[str]] = None
 
     # ---------------------------------------------------------------- access
     @property
@@ -130,6 +134,7 @@ class Blockchain:
         current = self.tip
         if candidate.height > current.height:
             self._tip_hash = candidate.block_hash
+            self._best_chain_txids = None
             return True
         # Equal height: keep the first-seen tip (Bitcoin's behaviour).
         return False
@@ -170,7 +175,11 @@ class Blockchain:
 
     def contains_transaction(self, txid: str) -> bool:
         """Whether the best chain confirms the transaction."""
-        return self.confirmations(txid) > 0
+        if self._best_chain_txids is None:
+            self._best_chain_txids = {
+                tx.txid for block in self.best_chain() for tx in block.transactions
+            }
+        return txid in self._best_chain_txids
 
     def utxo_set(self) -> UtxoSet:
         """UTXO set implied by the best chain (recomputed from genesis)."""

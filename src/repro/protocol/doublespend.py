@@ -121,6 +121,44 @@ class DoubleSpendOutcome:
         return self.confirmed_txid == self.attacker_txid
 
 
+def merchant_detection(
+    merchant: BitcoinNode,
+    pair: DoubleSpendPair,
+    *,
+    start_time: float,
+    horizon_s: float,
+) -> tuple[bool, Optional[float]]:
+    """Whether (and when) the merchant learnt of the conflicting transaction.
+
+    The merchant holds the victim transaction; it *detects* the double-spend
+    as soon as it hears of the attacker's conflicting transaction at all — an
+    INV announcing it (including a relayed double-spend alert, see
+    ``NodeConfig.relay_conflicts``) or the full TX.  Mempool admission is
+    irrelevant: first-seen means the merchant's mempool will always reject the
+    attacker's copy, which is precisely how the conflict becomes observable.
+
+    Args:
+        start_time: simulated time the race started (both copies injected).
+        horizon_s: race observation window; a detection whose recorded time
+            somehow precedes the race start (e.g. a txid re-used across races)
+            clamps to 0, and one recorded after the horizon clamps to it.
+
+    Returns:
+        ``(detected, detection_time_s)`` with the detection time relative to
+        ``start_time``; ``(False, None)`` when the merchant never heard of the
+        attacker's transaction.
+    """
+    txid = pair.attacker_tx.txid
+    first_seen = merchant.transaction_first_seen_times.get(txid)
+    if first_seen is None:
+        if txid not in merchant.known_transactions:
+            return (False, None)
+        # Known but with no recorded reception time — count the detection at
+        # the conservative end of the window.
+        return (True, horizon_s)
+    return (True, min(max(first_seen - start_time, 0.0), horizon_s))
+
+
 def tally_first_seen(nodes: list[BitcoinNode], pair: DoubleSpendPair) -> DoubleSpendOutcome:
     """Count, across ``nodes``, which conflicting transaction each admitted first.
 

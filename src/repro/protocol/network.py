@@ -179,39 +179,73 @@ class P2PNetwork:
         if not (self.is_online(sender_id) and self.is_online(receiver_id)):
             self.messages_dropped += 1
             return False
+        self._send_prechecked(sender_id, receiver_id, message)
+        return True
+
+    def _send_prechecked(
+        self,
+        sender_id: int,
+        receiver_id: int,
+        message: Message,
+        jitter_factor: Optional[float] = None,
+    ) -> None:
+        """Compute the delay, account the traffic and schedule the delivery.
+
+        Connectivity/online checks are the caller's responsibility.
+        """
+        command = message.command
+        size = message_size_bytes(command, message.wire_payload())
         delay = self.delays.message_delay_s(
             sender_id,
             self._positions[sender_id],
             receiver_id,
             self._positions[receiver_id],
-            message.command,
-            message.wire_payload(),
+            command,
+            size_bytes=size,
+            jitter_factor=jitter_factor,
         )
-        self.messages_sent[message.command] += 1
-        self.bytes_sent[message.command] += message_size_bytes(
-            message.command, message.wire_payload()
-        )
+        self.messages_sent[command] += 1
+        self.bytes_sent[command] += size
         self.simulator.schedule(
             delay,
             lambda: self._deliver(sender_id, receiver_id, message),
-            label=f"deliver:{message.command}",
+            label=f"deliver:{command}",
         )
-        return True
 
     def broadcast(self, sender_id: int, message: Message, *, exclude: Optional[set[int]] = None) -> int:
         """Send ``message`` to every neighbour of ``sender_id``.
+
+        When every destination pair's routing is already known, the congestion
+        jitter for all copies is drawn in one batched call (bit-identical to
+        the per-message draws — see :meth:`LatencyModel.jitter_factors`).
 
         Returns:
             Number of copies scheduled.
         """
         excluded = exclude or set()
-        sent = 0
+        sender_online = self.is_online(sender_id)
+        eligible: list[int] = []
         for peer in self.neighbors(sender_id):
             if peer in excluded:
                 continue
-            if self.send(sender_id, peer, message):
-                sent += 1
-        return sent
+            if sender_online and self.is_online(peer):
+                eligible.append(peer)
+            else:
+                self.messages_dropped += 1
+        if not eligible:
+            return 0
+        if len(eligible) > 1 and self.delays.can_batch_jitter(sender_id, eligible):
+            factors = self.delays.jitter_factors(len(eligible))
+            if factors is None:
+                for peer in eligible:
+                    self._send_prechecked(sender_id, peer, message)
+            else:
+                for peer, factor in zip(eligible, factors):
+                    self._send_prechecked(sender_id, peer, message, jitter_factor=factor)
+        else:
+            for peer in eligible:
+                self._send_prechecked(sender_id, peer, message)
+        return len(eligible)
 
     def _deliver(self, sender_id: int, receiver_id: int, message: Message) -> None:
         if not self.is_online(receiver_id):
@@ -220,9 +254,11 @@ class P2PNetwork:
         if not self.topology.are_connected(sender_id, receiver_id):
             self.messages_dropped += 1
             return
-        self.simulator.tracer.record(
-            self.simulator.now, "message", message.command, (sender_id, receiver_id)
-        )
+        tracer = self.simulator.tracer
+        if tracer.enabled:
+            tracer.record(
+                self.simulator.now, "message", message.command, (sender_id, receiver_id)
+            )
         self._nodes[receiver_id].handle_message(sender_id, message)
 
     # ------------------------------------------------------------------ ping

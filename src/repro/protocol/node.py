@@ -80,6 +80,16 @@ class NodeConfig:
         verification_enabled: whether to charge the verification delay before
             relaying (the paper's baseline behaviour; pipelined relay per
             Stathakopoulou'15 can be modelled by disabling it).
+        relay_conflicts: whether to relay the *first* transaction observed to
+            conflict with a mempool transaction (a "double-spend alert", after
+            Bitcoin XT's relay-first-double-spend behaviour).  The conflicting
+            transaction is never admitted to the mempool — first-seen still
+            wins — but announcing it once lets every node, in particular a
+            merchant holding the victim transaction, learn that a conflict
+            exists.  Off by default: vanilla Bitcoin (the paper's baseline)
+            drops conflicting transactions silently, and relaying them also
+            accelerates both race waves, which would perturb first-seen
+            shares; the double-spend experiment opts in explicitly.
     """
 
     max_outbound: int = 8
@@ -87,6 +97,7 @@ class NodeConfig:
     addr_sample_size: int = 23
     relay_transactions: bool = True
     verification_enabled: bool = True
+    relay_conflicts: bool = False
 
 
 @dataclass
@@ -153,6 +164,15 @@ class BitcoinNode:
         self.address_book: set[int] = set()
         #: Time each accepted transaction was first accepted locally.
         self.transaction_accept_times: dict[str, float] = {}
+        #: Time each transaction id was first *heard of* (INV, TX or local
+        #: creation) — reception of knowledge, not mempool admission.
+        self.transaction_first_seen_times: dict[str, float] = {}
+        #: Conflicts observed locally: rejected txid -> (pending txid it
+        #: conflicts with, time the conflict was first observed).
+        self.observed_conflicts: dict[str, tuple[str, float]] = {}
+        #: Full transactions rejected for conflicting, kept so GETDATA for a
+        #: relayed double-spend alert can be served.
+        self._conflict_store: dict[str, Transaction] = {}
 
         #: External observers notified when a transaction is accepted locally.
         self.transaction_listeners: list[Callable[[int, Transaction, float], None]] = []
@@ -251,6 +271,7 @@ class BitcoinNode:
         Returns the validation result; listeners fire only on acceptance.
         """
         self.known_transactions.add(tx.txid)
+        self.transaction_first_seen_times.setdefault(tx.txid, self.now)
         self._pending_tx_requests.discard(tx.txid)
         result = self.validator.validate_transaction(tx, self._effective_utxo_for(tx))
         if not result.valid:
@@ -260,6 +281,10 @@ class BitcoinNode:
             return result
         if not self.mempool.add(tx, arrival_time=self.now):
             # Conflict with a first-seen transaction or duplicate.
+            if tx.txid not in self.mempool:
+                conflicting = self.mempool.conflicting_txid(tx)
+                if conflicting is not None:
+                    self._observe_conflict(tx, conflicting, origin_peer=origin_peer)
             self.stats.transactions_rejected += 1
             return ValidationResult(False, None, result.verification_cost_s)
         self.stats.transactions_accepted += 1
@@ -286,6 +311,32 @@ class BitcoinNode:
             if extended.can_apply(pending):
                 extended.apply_transaction(pending)
         return extended
+
+    # ------------------------------------------------------------- conflicts
+    def _observe_conflict(
+        self, tx: Transaction, conflicting_txid: str, *, origin_peer: Optional[int]
+    ) -> None:
+        """Record a double-spend conflict and relay the alert once.
+
+        ``tx`` was rejected by the mempool because ``conflicting_txid`` (the
+        first-seen transaction) spends one of its inputs.  The node remembers
+        when it first learnt of the conflict — the quantity the double-spend
+        experiment measures as the merchant's detection time — and, when
+        configured, announces the conflicting transaction to its neighbours so
+        knowledge of the conflict floods past the first-seen frontier.
+        """
+        if tx.txid in self.observed_conflicts:
+            return
+        self.observed_conflicts[tx.txid] = (conflicting_txid, self.now)
+        if self.config.relay_conflicts and self.config.relay_transactions:
+            self._conflict_store[tx.txid] = tx
+            exclude = {origin_peer} if origin_peer is not None else None
+            self.announce_transaction(tx.txid, exclude=exclude)
+
+    def first_conflict_time(self, txid: str) -> Optional[float]:
+        """When this node first observed ``txid`` to conflict (None if never)."""
+        observed = self.observed_conflicts.get(txid)
+        return observed[1] if observed is not None else None
 
     def announce_transaction(self, txid: str, *, exclude: Optional[set[int]] = None) -> int:
         """Send an INV for ``txid`` to every neighbour (minus ``exclude``)."""
@@ -393,6 +444,9 @@ class BitcoinNode:
             if not unknown:
                 self.stats.duplicate_invs += 1
                 return
+            now = self.now
+            for txid in unknown:
+                self.transaction_first_seen_times.setdefault(txid, now)
             self._pending_tx_requests.update(unknown)
             self.stats.getdata_sent += 1
             network.send(
@@ -430,6 +484,8 @@ class BitcoinNode:
         if message.inventory_type is InventoryType.TRANSACTION:
             for txid in message.hashes:
                 tx = self.mempool.get(txid)
+                if tx is None:
+                    tx = self._conflict_store.get(txid)
                 if tx is None:
                     tx = self._find_confirmed_transaction(txid)
                 if tx is not None:

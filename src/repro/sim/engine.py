@@ -7,6 +7,11 @@ spawning generator-based processes with :meth:`Simulator.spawn`.
 
 The engine is single-threaded and deterministic: two runs constructed with the
 same seed execute exactly the same event sequence.
+
+The event heap stores ``(time, priority, sequence, event)`` tuples so heap
+sifts compare plain numbers; combined with ``__slots__`` on :class:`Event`
+this keeps the per-event dispatch cost low (the hot loop is the dominant cost
+of every experiment).
 """
 
 from __future__ import annotations
@@ -40,7 +45,10 @@ class Simulator:
         self.clock = SimClock()
         self.random = RandomService(seed)
         self.tracer = Tracer(enabled=trace)
-        self._heap: list[Event] = []
+        #: Heap of (time, priority, sequence, Event) tuples; the leading
+        #: numeric fields keep heap comparisons away from rich Python objects
+        #: and ``sequence`` is unique, so the Event itself is never compared.
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._running = False
         self._stopped = False
@@ -98,7 +106,7 @@ class Simulator:
             label=label,
         )
         self._sequence += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, event.priority, event.sequence, event))
         return EventHandle(event)
 
     def call_soon(self, callback: Callable[[], Any], *, label: str = "") -> EventHandle:
@@ -170,17 +178,22 @@ class Simulator:
             raise RuntimeError("simulator is already running (re-entrant run() call)")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        heappop = heapq.heappop
+        clock = self.clock
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap:
+                entry = heap[0]
+                event = entry[3]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
                     continue
-                if until is not None and event.time > until:
-                    self.clock.advance_to(until)
+                event_time = entry[0]
+                if until is not None and event_time > until:
+                    clock.advance_to(until)
                     break
-                heapq.heappop(self._heap)
-                self.clock.advance_to(event.time)
+                heappop(heap)
+                clock.advance_to(event_time)
                 self._events_executed += 1
                 try:
                     event.callback()

@@ -11,6 +11,12 @@ An :class:`Event` is a scheduled callback.  Ordering in the event heap is by
   earlier in wall-clock order run first and the ordering is fully
   deterministic.
 
+The engine stores ``(time, priority, sequence, event)`` tuples in its heap, so
+heap sift operations compare plain floats/ints and never fall through to the
+event object itself (``sequence`` is unique).  :class:`Event` keeps a
+``__lt__`` implementing the same ordering for direct comparisons in tests and
+debugging, but the hot path never calls it.
+
 Cancellation is handled by flagging the event rather than removing it from the
 heap (lazy deletion), which keeps cancellation O(1).
 """
@@ -18,7 +24,6 @@ heap (lazy deletion), which keeps cancellation O(1).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
@@ -31,7 +36,6 @@ class EventPriority(enum.IntEnum):
     CONTROL = 100
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
@@ -45,12 +49,55 @@ class Event:
             skipped when popped.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[[], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "sequence", "callback", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[[], Any],
+        label: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.cancelled = cancelled
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        """The ``(time, priority, sequence)`` ordering key."""
+        return (self.time, self.priority, self.sequence)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __le__(self, other: "Event") -> bool:
+        return self.sort_key <= other.sort_key
+
+    def __gt__(self, other: "Event") -> bool:
+        return self.sort_key > other.sort_key
+
+    def __ge__(self, other: "Event") -> bool:
+        return self.sort_key >= other.sort_key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key == other.sort_key
+
+    def __hash__(self) -> int:
+        return hash((Event, self.sequence))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return (
+            f"Event(t={self.time:.6f}, prio={self.priority}, seq={self.sequence}, "
+            f"label={self.label!r}, {state})"
+        )
 
 
 class EventHandle:

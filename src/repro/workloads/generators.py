@@ -22,6 +22,7 @@ import numpy as np
 from repro.protocol.block import Block
 from repro.protocol.node import BitcoinNode
 from repro.protocol.transaction import Transaction
+from repro.protocol.utxo import UtxoSet
 from repro.sim.engine import Simulator
 from repro.sim.process import Timeout
 
@@ -83,13 +84,21 @@ def fund_nodes(
         nonce=0,
         miner_id=-1,
     )
+    # Every node ends up with the identical (genesis + funding block) ledger,
+    # so the UTXO set is computed once and copied — rebuilding it per node is
+    # O(nodes * outputs) transaction applications per node, which dominated
+    # experiment start-up at scale.
+    shared_utxo: Optional[UtxoSet] = None
+    funding_txids = [tx.txid for tx in funding_txs]
     for node in nodes:
         if node.blockchain.height != 0:
             raise ValueError(f"node {node.node_id} has already advanced past genesis")
         node.blockchain.add_block(funding_block)
-        node.utxo = node.blockchain.utxo_set()
+        if shared_utxo is None:
+            shared_utxo = node.blockchain.utxo_set()
+        node.utxo = shared_utxo.copy()
         node.known_blocks.add(funding_block.block_hash)
-        node.known_transactions.update(tx.txid for tx in funding_txs)
+        node.known_transactions.update(funding_txids)
     return funding_block
 
 

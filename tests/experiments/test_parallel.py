@@ -1,0 +1,96 @@
+"""Determinism tests for the parallel experiment runner.
+
+The contract: every (protocol, seed) job derives all randomness from its own
+master seed, jobs merge in submission order, and ``workers=1`` runs the exact
+serial path — so any worker count produces identical results.  These tests
+compare full pooled delay distributions and cluster summaries (not just
+summary statistics) between the serial path and a multi-process run.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.doublespend import run_doublespend
+from repro.experiments.parallel import ParallelRunner, resolve_workers
+from repro.experiments.runner import run_protocol_comparison
+
+#: Small enough to keep the multi-process comparison in CI-friendly time
+#: (below ~80 nodes a BCBPT measuring node can end up with no proximity
+#: connections, so do not shrink further).
+QUICK = ExperimentConfig(node_count=80, runs=2, seeds=(3, 11), measuring_nodes=2)
+
+
+def _double(value: int) -> int:
+    return value * 2
+
+
+class TestParallelRunner:
+    def test_results_preserve_submission_order(self):
+        runner = ParallelRunner(workers=4)
+        assert runner.map_jobs(_double, list(range(20))) == [2 * i for i in range(20)]
+
+    def test_empty_jobs(self):
+        assert ParallelRunner(workers=4).map_jobs(_double, []) == []
+
+    def test_serial_path_avoids_multiprocessing(self):
+        # workers=1 must call the function inline: a non-picklable closure
+        # only survives the serial path.
+        captured = []
+        runner = ParallelRunner(workers=1)
+        assert runner.map_jobs(lambda v: captured.append(v) or v, [1, 2]) == [1, 2]
+        assert captured == [1, 2]
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=-1)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1, 10) == 1
+        assert resolve_workers(8, 3) == 3
+        assert resolve_workers(0, 2) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-1, 4)
+
+
+def _assert_same_results(serial, parallel):
+    assert set(serial) == set(parallel)
+    for label in serial:
+        a, b = serial[label], parallel[label]
+        assert a.delays.samples == b.delays.samples
+        assert set(a.per_seed) == set(b.per_seed)
+        for seed in a.per_seed:
+            assert a.per_seed[seed].samples == b.per_seed[seed].samples
+        assert a.cluster_summaries == b.cluster_summaries
+        assert sorted(a.per_rank) == sorted(b.per_rank)
+        for rank in a.per_rank:
+            assert a.per_rank[rank].samples == b.per_rank[rank].samples
+        assert len(a.campaigns) == len(b.campaigns)
+
+
+class TestWorkerCountInvariance:
+    def test_comparison_identical_for_1_and_4_workers(self):
+        serial = run_protocol_comparison(("bitcoin", "bcbpt"), QUICK.with_overrides(workers=1))
+        parallel = run_protocol_comparison(("bitcoin", "bcbpt"), QUICK.with_overrides(workers=4))
+        _assert_same_results(serial, parallel)
+
+    def test_doublespend_identical_for_1_and_4_workers(self):
+        serial = run_doublespend(
+            QUICK.with_overrides(workers=1), races_per_seed=2, race_horizon_s=1.0
+        )
+        parallel = run_doublespend(
+            QUICK.with_overrides(workers=4), races_per_seed=2, race_horizon_s=1.0
+        )
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a.protocol == b.protocol
+            assert a.races == b.races
+            assert a.mean_attacker_share == b.mean_attacker_share
+            assert a.detection_rate == b.detection_rate
+            if math.isnan(a.mean_detection_time_s):
+                assert math.isnan(b.mean_detection_time_s)
+            else:
+                assert a.mean_detection_time_s == b.mean_detection_time_s
