@@ -1,0 +1,58 @@
+"""Ext-6 quick-lane guard — churn resilience end-to-end under the parallel runner.
+
+Unlike the figure benchmarks (marked ``slow``), this module runs in the quick
+``-m "not slow"`` lane: it drives the whole dynamic-membership stack — churn
+schedule, session processes, connection teardown, policy repair, measurement
+under churn, parallel fan-out and the ordered merge — at a deliberately small
+scale, under a generous wall-clock bound so a runtime regression in the churn
+path fails loudly without tying CI to machine speed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.churn_resilience import (
+    build_report,
+    clustering_survives_churn,
+    run_churn_resilience,
+)
+
+#: Generous upper bound (the run takes a few seconds on any recent machine).
+WALL_CLOCK_BOUND_S = 30.0
+
+
+def test_churn_resilience_end_to_end_quickly(bench_config):
+    config = bench_config.with_overrides(
+        node_count=60,
+        runs=2,
+        seeds=bench_config.seeds[:2],
+        measuring_nodes=2,
+        run_timeout_s=30.0,
+    )
+    start = time.perf_counter()
+    results = run_churn_resilience(config, levels=("static", "heavy"))
+    elapsed = time.perf_counter() - start
+
+    assert set(results) == {
+        f"{protocol}/{level}"
+        for protocol in ("bitcoin", "lbc", "bcbpt")
+        for level in ("static", "heavy")
+    }
+    for key, result in results.items():
+        assert len(result.delays) > 0, f"{key} produced no delay samples"
+        assert 0.0 < result.mean_coverage() <= 1.0
+        if result.level == "static":
+            assert result.leave_events == 0
+        else:
+            assert result.leave_events > 0, f"{key} saw no churn"
+    # The clustered protocols' maintenance actually ran under churn.
+    assert results["bcbpt/heavy"].repair_sweeps > 0
+    assert results["lbc/heavy"].repair_sweeps > 0
+    assert clustering_survives_churn(results)
+
+    print()
+    print(build_report(results).render())
+    assert elapsed < WALL_CLOCK_BOUND_S, (
+        f"churn resilience run regressed: {elapsed:.1f}s (bound {WALL_CLOCK_BOUND_S}s)"
+    )

@@ -8,7 +8,16 @@ quotas through the ordinary discovery mechanism.
 :class:`ChurnMaintainer` wires a :class:`~repro.net.churn.ChurnModel`, the
 :class:`~repro.protocol.network.P2PNetwork`, the DNS seed and a
 :class:`~repro.core.policy.NeighbourPolicy` together so that experiments with
-node churn keep a healthy overlay under any policy.
+node churn keep a healthy overlay under any policy.  Two periodic sweeps run
+while churn is active:
+
+* the **discovery sweep** (the paper's 100 ms peer discovery) tops up the
+  connections of under-connected online nodes;
+* the **repair sweep** fixes cluster damage churn leaves behind: members
+  orphaned into singleton clusters are re-homed through the policy's join
+  procedure, clusters whose representative (founder) departed elect a new
+  one, and a fragmented overlay is re-bridged so propagation can still reach
+  every online node.
 """
 
 from __future__ import annotations
@@ -34,6 +43,10 @@ class ChurnMaintainer:
         session_model: session length / downtime sampler driving churn.
         discovery_interval_s: period of the per-network discovery sweep that
             tops up under-connected nodes (None disables the sweep).
+        repair_interval_s: period of the cluster-repair sweep (None disables
+            it): re-homes orphaned singleton-cluster members, replaces
+            departed cluster representatives and re-bridges disconnected
+            overlay components.
     """
 
     def __init__(
@@ -45,6 +58,7 @@ class ChurnMaintainer:
         session_model: SessionLengthModel,
         *,
         discovery_interval_s: Optional[float] = None,
+        repair_interval_s: Optional[float] = None,
     ) -> None:
         self.simulator = simulator
         self.network = network
@@ -66,7 +80,25 @@ class ChurnMaintainer:
                 rng=simulator.random.stream("maintenance-discovery"),
                 label="maintenance-discovery",
             )
+        self._repair_timer: Optional[PeriodicTimer] = None
+        if repair_interval_s is not None:
+            self._repair_timer = PeriodicTimer(
+                simulator,
+                repair_interval_s,
+                self.repair_clusters,
+                jitter=0.1,
+                rng=simulator.random.stream("maintenance-repair"),
+                label="maintenance-repair",
+            )
+        #: Cluster id -> node currently acting as the cluster's representative
+        #: (initially its founder; re-elected by :meth:`repair_clusters` when
+        #: the representative departs).
+        self.cluster_representatives: dict[int, int] = {}
         self.nodes_repaired = 0
+        self.repair_sweeps = 0
+        self.orphans_reassigned = 0
+        self.representatives_replaced = 0
+        self.bridges_created = 0
 
     # ------------------------------------------------------------- lifecycle
     def start(self, node_ids: Optional[list[int]] = None) -> None:
@@ -76,11 +108,15 @@ class ChurnMaintainer:
             self.churn.start_node(node_id)
         if self._discovery_timer is not None:
             self._discovery_timer.start()
+        if self._repair_timer is not None:
+            self._repair_timer.start()
 
     def stop(self) -> None:
-        """Stop the periodic discovery sweep (churn processes run to end of sim)."""
+        """Stop the periodic sweeps (churn processes run to end of sim)."""
         if self._discovery_timer is not None and self._discovery_timer.running:
             self._discovery_timer.stop()
+        if self._repair_timer is not None and self._repair_timer.running:
+            self._repair_timer.stop()
 
     # ----------------------------------------------------------- churn hooks
     def _handle_leave(self, node_id: int) -> None:
@@ -101,3 +137,99 @@ class ChurnMaintainer:
             degree = self.network.topology.degree(node_id)
             if degree < self.policy.max_outbound:
                 self.policy.run_discovery_round(node_id)
+
+    # ---------------------------------------------------------------- repair
+    def repair_clusters(self) -> dict[str, int]:
+        """One repair sweep over the policy's cluster bookkeeping.
+
+        Performs, in order:
+
+        1. **Representative replacement** — every cluster whose current
+           representative (initially the founder) is offline or no longer a
+           member elects the lowest-id online member instead, so cluster-level
+           coordination (JOIN targets, recommendations) keeps an anchor.
+        2. **Orphan re-homing** — online nodes stranded in singleton clusters
+           (everyone else in their cluster left) re-run the policy's join
+           procedure, giving them a chance to merge into a live cluster, and
+           are re-connected up to the outbound quota.
+        3. **Overlay re-bridging** — if churn disconnected the overlay graph,
+           bridge links are created so every online component can still hear
+           broadcasts.
+
+        Returns:
+            Counters of this sweep's actions (also accumulated on the
+            maintainer): ``representatives_replaced``, ``orphans_reassigned``
+            and ``bridges_created``.
+        """
+        self.repair_sweeps += 1
+        replaced = self._ensure_representatives()
+        rehomed = self._rehome_orphans()
+        bridges = self.policy.ensure_connected_overlay()
+        self.bridges_created += bridges
+        return {
+            "representatives_replaced": replaced,
+            "orphans_reassigned": rehomed,
+            "bridges_created": bridges,
+        }
+
+    def _ensure_representatives(self) -> int:
+        """Replace departed cluster representatives; returns replacements made."""
+        replaced = 0
+        clusters = self.policy.clusters
+        live_ids = set()
+        for cluster in clusters.clusters():
+            live_ids.add(cluster.cluster_id)
+            current = self.cluster_representatives.get(cluster.cluster_id, cluster.founder)
+            online_members = sorted(
+                member for member in cluster.members if self.network.is_online(member)
+            )
+            if not online_members:
+                # Every member is offline; leave the record as-is — either the
+                # members come back or the cluster empties out via remove_node.
+                continue
+            if current in cluster.members and self.network.is_online(current):
+                self.cluster_representatives[cluster.cluster_id] = current
+                continue
+            self.cluster_representatives[cluster.cluster_id] = online_members[0]
+            replaced += 1
+        # Drop records of clusters that dissolved entirely.
+        for cluster_id in list(self.cluster_representatives):
+            if cluster_id not in live_ids:
+                del self.cluster_representatives[cluster_id]
+        self.representatives_replaced += replaced
+        return replaced
+
+    def _rehome_orphans(self) -> int:
+        """Re-run the join procedure for online singleton-cluster members."""
+        rehomed = 0
+        clusters = self.policy.clusters
+        orphans = [
+            cluster.member_list()[0]
+            for cluster in list(clusters.clusters())
+            if cluster.size == 1 and self.network.is_online(cluster.member_list()[0])
+        ]
+        assign = getattr(self.policy, "assign_to_cluster", None)
+        for node_id in sorted(orphans):
+            if assign is None:
+                # Non-clustering policy: an orphan just needs connections.
+                self.policy.connect_node(node_id)
+                continue
+            before = clusters.cluster_of(node_id)
+            before_id = before.cluster_id if before is not None else None
+            assign(node_id)
+            after = clusters.cluster_of(node_id)
+            if after is not None and after.cluster_id != before_id and after.size > 1:
+                rehomed += 1
+            self.policy.connect_node(node_id)
+        self.orphans_reassigned += rehomed
+        return rehomed
+
+    def representative_of(self, cluster_id: int) -> Optional[int]:
+        """The current representative of a cluster (None if unknown)."""
+        rep = self.cluster_representatives.get(cluster_id)
+        if rep is not None:
+            return rep
+        try:
+            return self.policy.clusters.cluster(cluster_id).founder
+        except KeyError:
+            return None

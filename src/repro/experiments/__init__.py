@@ -16,6 +16,8 @@ Each module corresponds to one experiment in DESIGN.md's index:
   function of propagation delay;
 * :mod:`repro.experiments.ablation` — Ext-5: verification-delay and
   long-distance-link ablations of the BCBPT design;
+* :mod:`repro.experiments.churn_resilience` — Ext-6: propagation delay and
+  cluster quality under live join/leave churn with cluster maintenance;
 * :mod:`repro.experiments.validation` — Val-1: simulator validation against
   published real-network propagation shapes.
 

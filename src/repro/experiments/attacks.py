@@ -31,7 +31,7 @@ import networkx as nx
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import ExperimentReport, format_table
 from repro.workloads.network_gen import NetworkParameters
-from repro.workloads.scenarios import Scenario, build_scenario
+from repro.workloads.scenarios import Scenario, build_scenario, validate_policy_name
 
 ATTACK_PROTOCOLS = ("bitcoin", "lbc", "bcbpt")
 
@@ -97,6 +97,8 @@ def run_eclipse(
     if not 0 < adversary_fraction < 1:
         raise ValueError("adversary_fraction must be in (0, 1)")
     cfg = config if config is not None else ExperimentConfig()
+    for protocol in protocols:
+        validate_policy_name(protocol)
     results: list[EclipseResult] = []
     for protocol in protocols:
         victim_connections = 0
@@ -135,6 +137,8 @@ def run_partition(
 ) -> list[PartitionResult]:
     """Measure how cheaply an adversary can cut a target group off the network."""
     cfg = config if config is not None else ExperimentConfig()
+    for protocol in protocols:
+        validate_policy_name(protocol)
     results: list[PartitionResult] = []
     for protocol in protocols:
         boundary_total = 0

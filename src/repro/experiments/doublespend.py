@@ -38,7 +38,7 @@ from repro.protocol.messages import TxMessage
 from repro.protocol.node import NodeConfig
 from repro.workloads.generators import fund_nodes
 from repro.workloads.network_gen import NetworkParameters
-from repro.workloads.scenarios import build_scenario
+from repro.workloads.scenarios import build_scenario, validate_policy_name
 
 DOUBLESPEND_PROTOCOLS = ("bitcoin", "lbc", "bcbpt")
 
@@ -87,6 +87,8 @@ def run_doublespend(
     if race_horizon_s <= 0:
         raise ValueError("race_horizon_s must be positive")
     cfg = config if config is not None else ExperimentConfig()
+    for protocol in protocols:
+        validate_policy_name(protocol)
     jobs = [
         DoubleSpendJob(
             protocol=protocol,

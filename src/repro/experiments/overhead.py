@@ -19,7 +19,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import ExperimentReport, format_table
 from repro.experiments.runner import PropagationExperiment
 from repro.workloads.network_gen import NetworkParameters
-from repro.workloads.scenarios import build_scenario
+from repro.workloads.scenarios import build_scenario, validate_policy_name
 
 OVERHEAD_PROTOCOLS = ("bitcoin", "lbc", "bcbpt")
 
@@ -47,6 +47,8 @@ def run_overhead(
 ) -> list[OverheadPoint]:
     """Measure topology-construction overhead and delay for each protocol."""
     cfg = config if config is not None else ExperimentConfig()
+    for protocol in protocols:
+        validate_policy_name(protocol)
     points: list[OverheadPoint] = []
     for protocol in protocols:
         ping_counts: list[float] = []

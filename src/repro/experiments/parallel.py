@@ -38,6 +38,7 @@ from typing import Callable, Optional, Sequence, TypeVar
 import multiprocessing
 
 from repro.experiments.config import ExperimentConfig
+from repro.workloads.scenarios import ChurnSchedule
 
 JobT = TypeVar("JobT")
 ResultT = TypeVar("ResultT")
@@ -252,6 +253,56 @@ def run_threshold_job(job: ThresholdJob) -> ThresholdJobResult:
         mean_link_rtt_s=mean_link_rtt_s,
         long_link_fraction=long_link_fraction,
     )
+
+
+@dataclass(frozen=True)
+class ChurnResilienceJob:
+    """One (protocol, churn level, seed) dynamic-membership campaign.
+
+    Attributes:
+        protocol: policy under test (one of ``POLICY_NAMES``).
+        level: human-readable churn-intensity label (``"static"``, ...).
+        schedule: the churn schedule for this level, or None for a static
+            (no-churn) control.
+        threshold_s: BCBPT latency threshold ``d_t`` in seconds.
+        seed: master seed for the job's network and simulator.
+        config: shared experiment configuration.
+    """
+
+    protocol: str
+    level: str
+    schedule: Optional[ChurnSchedule]
+    threshold_s: float
+    seed: int
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class ChurnJobResult:
+    """Everything the churn-resilience merge reads from one campaign."""
+
+    protocol: str
+    level: str
+    seed: int
+    delay_samples: tuple[float, ...]
+    coverages: tuple[float, ...]
+    timed_out_receptions: int
+    failed_runs: int
+    join_events: int
+    leave_events: int
+    repair_sweeps: int
+    orphans_reassigned: int
+    representatives_replaced: int
+    bridges_created: int
+    cluster_before: dict[str, float]
+    cluster_after: dict[str, float]
+
+
+def run_churn_resilience_job(job: ChurnResilienceJob) -> ChurnJobResult:
+    """Execute one churn campaign — the process-pool entry point."""
+    from repro.experiments.churn_resilience import run_churn_seed
+
+    return run_churn_seed(job)
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,7 @@ from repro.experiments.parallel import ParallelRunner, PropagationJob, run_propa
 from repro.measurement.measuring_node import CampaignResult, MeasurementCampaign, MeasuringNode
 from repro.measurement.stats import DelayDistribution
 from repro.workloads.generators import fund_nodes
-from repro.workloads.scenarios import Scenario
+from repro.workloads.scenarios import Scenario, validate_policy_name
 
 
 @dataclass
@@ -76,6 +76,18 @@ class PropagationResult:
         ]
 
 
+def select_measuring_nodes(node_ids: Sequence[int], count: int) -> list[int]:
+    """Measuring nodes spread evenly across the node id space.
+
+    The single source of the placement rule: every experiment that rotates
+    measuring nodes (the figure campaigns, the churn-resilience sweep) uses
+    this, so cross-experiment comparisons observe from the same nodes.
+    """
+    count = min(count, len(node_ids))
+    stride = max(1, len(node_ids) // count)
+    return [node_ids[i * stride] for i in range(count)]
+
+
 class PropagationExperiment:
     """Runs the measuring-node campaign on one prepared scenario."""
 
@@ -101,10 +113,9 @@ class PropagationExperiment:
 
     def measuring_node_ids(self) -> list[int]:
         """Measuring nodes spread evenly across the node id space."""
-        node_ids = self.scenario.network.node_ids()
-        count = min(self.config.measuring_nodes, len(node_ids))
-        stride = max(1, len(node_ids) // count)
-        return [node_ids[i * stride] for i in range(count)]
+        return select_measuring_nodes(
+            self.scenario.network.node_ids(), self.config.measuring_nodes
+        )
 
     def run(self, repetitions: Optional[int] = None) -> PropagationResult:
         """Execute the campaign and return pooled results for this scenario."""
@@ -190,13 +201,19 @@ def _parse_label(
     config: ExperimentConfig,
     thresholds: Optional[dict[str, float]],
 ) -> tuple[str, float]:
-    """Resolve a protocol label to (policy name, latency threshold)."""
+    """Resolve a protocol label to (policy name, latency threshold).
+
+    The base name is validated against
+    :data:`~repro.workloads.scenarios.POLICY_NAMES` here, at job-construction
+    time, so a typo fails immediately in the driver process instead of deep
+    inside a pool worker.
+    """
     if thresholds is not None and label in thresholds:
         base = label.split("@", 1)[0]
-        return base, thresholds[label]
+        return validate_policy_name(base), thresholds[label]
     if "@" in label:
         base, spec = label.split("@", 1)
         if not spec.endswith("ms"):
             raise ValueError(f"threshold spec must end in 'ms': {label!r}")
-        return base, float(spec[:-2]) / 1000.0
-    return label, config.latency_threshold_s
+        return validate_policy_name(base), float(spec[:-2]) / 1000.0
+    return validate_policy_name(label), config.latency_threshold_s

@@ -98,13 +98,24 @@ class P2PNetwork:
         return [node_id for node_id, online in self._online.items() if online]
 
     def set_online(self, node_id: int, online: bool) -> None:
-        """Mark a node online/offline; going offline tears down its links."""
+        """Mark a node online/offline; going offline tears down its links.
+
+        The node itself is told through its ``on_offline`` / ``on_online``
+        lifecycle hooks (after teardown, so the node observes its final
+        link-less state), letting it drop in-flight request state that died
+        with the connections.  Repeated calls with the same state are no-ops.
+        """
         if node_id not in self._nodes:
             raise KeyError(f"unknown node {node_id}")
+        was_online = self._online.get(node_id, False)
         self._online[node_id] = online
         if not online:
             for peer in list(self.topology.neighbors(node_id)):
                 self.disconnect(node_id, peer)
+            if was_online:
+                self._nodes[node_id].on_offline(self.simulator.now)
+        elif not was_online:
+            self._nodes[node_id].on_online(self.simulator.now)
 
     # ----------------------------------------------------------- connections
     def connect(

@@ -90,6 +90,15 @@ class NodeConfig:
             drops conflicting transactions silently, and relaying them also
             accelerates both race waves, which would perturb first-seen
             shares; the double-spend experiment opts in explicitly.
+        resync_on_reconnect: whether each endpoint of a *new* connection
+            announces its best-chain tip and mempool inventory to the other
+            (the INV half of Bitcoin's initial sync).  This is what lets a
+            node that left and rejoined mid-run converge back to the best
+            chain and catch up on transactions it missed while offline.  Off
+            by default: static-topology experiments never lose state, and the
+            extra INV traffic during topology construction would perturb the
+            paper-figure baselines; churn scenarios
+            (:class:`~repro.workloads.scenarios.ChurnSchedule`) opt in.
     """
 
     max_outbound: int = 8
@@ -98,6 +107,7 @@ class NodeConfig:
     relay_transactions: bool = True
     verification_enabled: bool = True
     relay_conflicts: bool = False
+    resync_on_reconnect: bool = False
 
 
 @dataclass
@@ -113,6 +123,8 @@ class NodeStatistics:
     getdata_sent: int = 0
     pings_received: int = 0
     duplicate_invs: int = 0
+    sessions_ended: int = 0
+    reconnect_syncs: int = 0
 
 
 class BitcoinNode:
@@ -173,6 +185,11 @@ class BitcoinNode:
         #: Full transactions rejected for conflicting, kept so GETDATA for a
         #: relayed double-spend alert can be served.
         self._conflict_store: dict[str, Transaction] = {}
+        #: Blocks received before their parent: parent hash -> waiting blocks.
+        #: Retried as soon as the parent is accepted, so a node catching up
+        #: over a multi-block gap (e.g. after rejoining under churn) converges
+        #: instead of dropping every out-of-order block.
+        self._orphan_blocks: dict[str, list[Block]] = {}
 
         #: External observers notified when a transaction is accepted locally.
         self.transaction_listeners: list[Callable[[int, Transaction, float], None]] = []
@@ -205,10 +222,73 @@ class BitcoinNode:
     def on_connected(self, peer_id: int) -> None:
         """Called by the network when a connection to ``peer_id`` is established."""
         self.address_book.add(peer_id)
+        if self.config.resync_on_reconnect:
+            self._sync_with_peer(peer_id)
 
     def on_disconnected(self, peer_id: int) -> None:
         """Called by the network when the connection to ``peer_id`` is torn down."""
         # The address stays in the address book; only the live link is gone.
+
+    # ------------------------------------------------------ session lifecycle
+    def on_offline(self, at: Optional[float] = None) -> None:
+        """Called by the network when this node's session ends (churn leave).
+
+        The connections are already gone, and with them every in-flight
+        request: forgetting the pending GETDATA sets lets a later INV for the
+        same inventory trigger a fresh request after the node rejoins, instead
+        of being ignored as already-requested forever.
+        """
+        self._pending_tx_requests.clear()
+        self._pending_block_requests.clear()
+        self.stats.sessions_ended += 1
+
+    def on_online(self, at: Optional[float] = None) -> None:
+        """Called by the network when this node starts a new session.
+
+        Chain, mempool and known-inventory state persist across the offline
+        gap (a session ending is a disconnect, not a node restart); catching
+        up on what was missed happens per-connection in :meth:`on_connected`
+        once the policy re-establishes links.
+        """
+
+    def _sync_with_peer(self, peer_id: int) -> None:
+        """Announce best-tip and mempool inventory over a fresh connection.
+
+        Both endpoints run this (each side's ``on_connected`` fires), so a
+        rejoining node simultaneously learns the chain it missed — the peer's
+        tip INV leads to GETDATA, and unknown parents are requested
+        recursively by :meth:`accept_block` — and offers what it still holds.
+        Announcing the genesis-only tip or an empty mempool is skipped, which
+        also makes this a no-op during initial topology construction.
+        """
+        network = self._require_network()
+        announced = False
+        tip = self.blockchain.tip
+        if tip.block_hash != self.blockchain.genesis.block_hash:
+            network.send(
+                self.node_id,
+                peer_id,
+                InvMessage(
+                    sender=self.node_id,
+                    inventory_type=InventoryType.BLOCK,
+                    hashes=(tip.block_hash,),
+                ),
+            )
+            announced = True
+        mempool_txids = tuple(sorted(tx.txid for tx in self.mempool.transactions()))
+        if mempool_txids:
+            network.send(
+                self.node_id,
+                peer_id,
+                InvMessage(
+                    sender=self.node_id,
+                    inventory_type=InventoryType.TRANSACTION,
+                    hashes=mempool_txids,
+                ),
+            )
+            announced = True
+        if announced:
+            self.stats.reconnect_syncs += 1
 
     # --------------------------------------------------------------- wallet
     def spendable_outputs(self) -> list[tuple[str, int, int]]:
@@ -369,7 +449,11 @@ class BitcoinNode:
         if self.blockchain.has_block(block.block_hash):
             return False
         if not self.blockchain.has_block(block.previous_hash):
-            # Parent unknown: request it and stash nothing (simple policy).
+            # Parent unknown: stash the block and request the parent, so the
+            # whole branch is replayed once the gap fills in.
+            waiting = self._orphan_blocks.setdefault(block.previous_hash, [])
+            if all(b.block_hash != block.block_hash for b in waiting):
+                waiting.append(block)
             if origin_peer is not None:
                 self._request_blocks(origin_peer, (block.previous_hash,))
             return False
@@ -385,6 +469,12 @@ class BitcoinNode:
             self.mempool.remove_confirmed(block.txids)
         exclude = {origin_peer} if origin_peer is not None else None
         self.announce_block(block.block_hash, exclude=exclude)
+        # Replay stashed children with no origin: the peer that sent an orphan
+        # already has it, so a duplicate INV there is harmless, whereas
+        # excluding the *parent's* sender would hide the child from the one
+        # neighbour that may still be missing it.
+        for orphan in self._orphan_blocks.pop(block.block_hash, []):
+            self.accept_block(orphan, origin_peer=None)
         return True
 
     def _utxo_as_of(self, block: Block) -> UtxoSet:

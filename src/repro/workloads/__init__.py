@@ -12,9 +12,17 @@
 
 from repro.workloads.generators import TransactionWorkload, WorkloadConfig, fund_nodes
 from repro.workloads.network_gen import NetworkParameters, SimulatedNetwork, build_network
-from repro.workloads.scenarios import POLICY_NAMES, Scenario, build_policy, build_scenario
+from repro.workloads.scenarios import (
+    POLICY_NAMES,
+    ChurnSchedule,
+    Scenario,
+    build_policy,
+    build_scenario,
+    validate_policy_name,
+)
 
 __all__ = [
+    "ChurnSchedule",
     "NetworkParameters",
     "POLICY_NAMES",
     "Scenario",
@@ -25,4 +33,5 @@ __all__ = [
     "build_policy",
     "build_scenario",
     "fund_nodes",
+    "validate_policy_name",
 ]

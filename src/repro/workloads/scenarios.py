@@ -4,36 +4,174 @@ A :class:`Scenario` bundles a freshly-built network with a constructed
 neighbour-selection policy and the build report of its topology.  Experiments,
 benchmarks and examples use :func:`build_scenario` so they all agree on what
 "run protocol X on a network of N nodes with seed S" means.
+
+Dynamic membership
+------------------
+
+Passing a :class:`ChurnSchedule` to :func:`build_scenario` turns the static
+topology into a *dynamic-membership* scenario: a
+:class:`~repro.core.maintenance.ChurnMaintainer` is wired to the network so
+nodes leave and rejoin mid-simulation (session lengths drawn from
+:class:`~repro.net.churn.SessionLengthModel`), departures tear their
+connections down, and rejoining nodes are re-clustered and re-connected by the
+scenario's policy.  Churn does not start on its own — call
+:meth:`Scenario.start_churn` once the measurement phase begins, optionally
+sparing a set of nodes (e.g. measuring nodes) from the churn cycle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional
 
 from repro.core.bcbpt import BcbptConfig, BcbptPolicy
 from repro.core.lbc import LbcConfig, LbcPolicy
+from repro.core.maintenance import ChurnMaintainer
 from repro.core.policy import NeighbourPolicy, TopologyBuildReport
 from repro.core.random_topology import RandomNeighbourPolicy, RandomPolicyConfig
+from repro.net.churn import SessionParameters
 from repro.workloads.network_gen import NetworkParameters, SimulatedNetwork, build_network
 
 #: Protocol names accepted by :func:`build_policy` / :func:`build_scenario`.
 POLICY_NAMES = ("bitcoin", "lbc", "bcbpt")
 
 
+def validate_policy_name(name: str) -> str:
+    """Check a policy name against :data:`POLICY_NAMES` and return it.
+
+    Every call path that accepts a protocol/policy name — scenario builders,
+    experiment drivers, parallel job constructors — funnels through this
+    check, so a typo fails immediately with a clear message instead of deep
+    inside a worker process (or, worse, being silently skipped).
+
+    Raises:
+        ValueError: for an unknown policy name.
+    """
+    if name not in POLICY_NAMES:
+        raise ValueError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}")
+    return name
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """When and how hard nodes churn in a dynamic-membership scenario.
+
+    Attributes:
+        median_session_s: median online-session length of ordinary nodes.
+        sigma: log-normal session-length shape (larger = heavier tail).
+        stable_fraction: share of nodes that are effectively always-on.
+        stable_session_s: session length assigned to always-on nodes.
+        mean_downtime_s: mean offline gap between two sessions.
+        start_delay_s: simulated seconds between :meth:`Scenario.start_churn`
+            and the first session clocks starting (lets the initial overlay
+            settle, mirroring the paper's build-then-measure phases).
+        discovery_interval_s: period of the maintenance discovery sweep that
+            tops up under-connected nodes (None disables it).
+        repair_interval_s: period of the cluster-repair sweep that re-homes
+            orphaned members, replaces departed cluster representatives and
+            re-bridges a fragmented overlay (None disables it).
+    """
+
+    median_session_s: float = 120.0
+    sigma: float = 1.0
+    stable_fraction: float = 0.2
+    stable_session_s: float = 24 * 3600.0
+    mean_downtime_s: float = 30.0
+    start_delay_s: float = 0.0
+    discovery_interval_s: Optional[float] = 1.0
+    repair_interval_s: Optional[float] = 5.0
+
+    def __post_init__(self) -> None:
+        if self.median_session_s <= 0:
+            raise ValueError("median_session_s must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0.0 <= self.stable_fraction <= 1.0:
+            raise ValueError("stable_fraction must be in [0, 1]")
+        if self.stable_session_s <= 0:
+            raise ValueError("stable_session_s must be positive")
+        if self.mean_downtime_s < 0:
+            raise ValueError("mean_downtime_s cannot be negative")
+        if self.start_delay_s < 0:
+            raise ValueError("start_delay_s cannot be negative")
+        if self.discovery_interval_s is not None and self.discovery_interval_s <= 0:
+            raise ValueError("discovery_interval_s must be positive (or None)")
+        if self.repair_interval_s is not None and self.repair_interval_s <= 0:
+            raise ValueError("repair_interval_s must be positive (or None)")
+
+    def session_parameters(self) -> SessionParameters:
+        """The session-length distribution this schedule prescribes."""
+        return SessionParameters(
+            median_session_s=self.median_session_s,
+            sigma=self.sigma,
+            stable_fraction=self.stable_fraction,
+            stable_session_s=self.stable_session_s,
+            mean_downtime_s=self.mean_downtime_s,
+        )
+
+
 @dataclass
 class Scenario:
-    """A built network with its policy-constructed overlay."""
+    """A built network with its policy-constructed overlay.
+
+    Attributes:
+        name: protocol label the scenario was built for.
+        network: the simulated network and its supporting models.
+        policy: the neighbour-selection policy that built (and maintains) the
+            overlay.
+        build_report: summary of the initial topology build.
+        churn: the churn schedule, if this is a dynamic-membership scenario.
+        maintainer: the churn/maintenance driver (None for static scenarios).
+    """
 
     name: str
     network: SimulatedNetwork
     policy: NeighbourPolicy
     build_report: TopologyBuildReport
+    churn: Optional[ChurnSchedule] = None
+    maintainer: Optional[ChurnMaintainer] = None
 
     @property
     def simulator(self):
         """The scenario's event engine."""
         return self.network.simulator
+
+    @property
+    def dynamic(self) -> bool:
+        """Whether this scenario has live join/leave churn wired up."""
+        return self.maintainer is not None
+
+    def start_churn(self, *, spare: Optional[Iterable[int]] = None) -> None:
+        """Begin the join/leave cycles of a dynamic-membership scenario.
+
+        Args:
+            spare: node ids exempted from churn (they stay online for the
+                whole run) — typically the measuring nodes, so a campaign is
+                never interrupted by its own observer departing.
+
+        Raises:
+            RuntimeError: if the scenario was built without a churn schedule.
+        """
+        if self.maintainer is None or self.churn is None:
+            raise RuntimeError(
+                f"scenario {self.name!r} was built without a ChurnSchedule; "
+                "pass churn=ChurnSchedule(...) to build_scenario() first"
+            )
+        spared = set(spare) if spare is not None else set()
+        targets = [
+            node_id
+            for node_id in self.network.network.node_ids()
+            if node_id not in spared
+        ]
+        maintainer = self.maintainer
+        if self.churn.start_delay_s > 0:
+            self.simulator.schedule(
+                self.churn.start_delay_s,
+                lambda: maintainer.start(targets),
+                label="churn-start",
+            )
+        else:
+            maintainer.start(targets)
 
 
 def build_policy(
@@ -54,6 +192,7 @@ def build_policy(
     Raises:
         ValueError: for an unknown policy name.
     """
+    validate_policy_name(name)
     rng = simulated.simulator.random.stream(f"policy-{name}")
     if name == "bitcoin":
         config = RandomPolicyConfig(max_outbound=max_outbound)
@@ -76,14 +215,37 @@ def build_scenario(
     *,
     latency_threshold_s: Optional[float] = None,
     max_outbound: int = 8,
+    churn: Optional[ChurnSchedule] = None,
 ) -> Scenario:
     """Build a network, run the policy's topology construction, return both.
 
     This is the entry point used by the figure experiments: the same
     ``parameters`` (and therefore the same seed-derived node placement) with a
     different ``policy_name`` gives the controlled comparison of Fig. 3.
+
+    Args:
+        policy_name: one of :data:`POLICY_NAMES`.
+        parameters: network build parameters (defaults apply when omitted).
+        latency_threshold_s: BCBPT's ``d_t``; ignored by the other policies.
+        max_outbound: outbound connection quota for every policy.
+        churn: optional churn schedule.  When given, the returned scenario
+            carries a wired (but not yet started)
+            :class:`~repro.core.maintenance.ChurnMaintainer`, the network's
+            session model follows the schedule, and every node resynchronises
+            chain/mempool inventory when it reconnects after downtime
+            (``NodeConfig.resync_on_reconnect``).
     """
-    simulated = build_network(parameters)
+    validate_policy_name(policy_name)
+    params = parameters if parameters is not None else NetworkParameters()
+    if churn is not None:
+        # Dynamic membership: session lengths follow the schedule, and nodes
+        # exchange tip/mempool inventory on reconnect so rejoining peers
+        # converge back to the network state they missed while offline.
+        params = params.with_overrides(
+            session=churn.session_parameters(),
+            node_config=replace(params.node_config, resync_on_reconnect=True),
+        )
+    simulated = build_network(params)
     policy = build_policy(
         policy_name,
         simulated,
@@ -91,9 +253,22 @@ def build_scenario(
         max_outbound=max_outbound,
     )
     report = policy.build_topology()
+    maintainer: Optional[ChurnMaintainer] = None
+    if churn is not None:
+        maintainer = ChurnMaintainer(
+            simulated.simulator,
+            simulated.network,
+            policy,
+            simulated.seed_service,
+            simulated.session_model,
+            discovery_interval_s=churn.discovery_interval_s,
+            repair_interval_s=churn.repair_interval_s,
+        )
     return Scenario(
         name=policy_name,
         network=simulated,
         policy=policy,
         build_report=report,
+        churn=churn,
+        maintainer=maintainer,
     )

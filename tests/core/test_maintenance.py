@@ -1,0 +1,206 @@
+"""Unit tests for the cluster-maintenance repair paths under churn.
+
+The :class:`~repro.core.maintenance.ChurnMaintainer` repair sweep handles the
+damage churn inflicts on a clustered overlay: members orphaned into singleton
+clusters, clusters whose representative (founder) departed, and an overlay
+fragmented by departures.  These paths were previously untested.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.maintenance import ChurnMaintainer
+from repro.net.churn import SessionLengthModel, SessionParameters
+from repro.workloads.network_gen import NetworkParameters, build_network
+from repro.workloads.scenarios import ChurnSchedule, build_scenario
+
+
+def _make_maintainer(scenario, **kwargs) -> ChurnMaintainer:
+    simulated = scenario.network
+    session_model = SessionLengthModel(
+        simulated.simulator.random.stream("test-sessions"),
+        SessionParameters(median_session_s=60.0, stable_fraction=0.0, mean_downtime_s=10.0),
+    )
+    return ChurnMaintainer(
+        simulated.simulator,
+        simulated.network,
+        scenario.policy,
+        simulated.seed_service,
+        session_model,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def bcbpt_scenario():
+    return build_scenario(
+        "bcbpt", NetworkParameters(node_count=40, seed=11), latency_threshold_s=0.05
+    )
+
+
+class TestOrphanRehoming:
+    def test_orphaned_member_rejoins_a_live_cluster(self, bcbpt_scenario):
+        """A node stranded in a singleton while its old (close) cluster lives
+        on is re-homed by the repair sweep."""
+        policy = bcbpt_scenario.policy
+        clusters = policy.clusters
+        big = max(clusters.clusters(), key=lambda c: c.size)
+        assert big.size >= 3, "seed must produce a cluster to orphan from"
+        orphan = max(big.member_list())  # not the founder (founders are lowest ids here)
+        # Strand the node in its own singleton cluster; its former cluster
+        # (full of latency-close peers) keeps running.
+        clusters.create_cluster(orphan, created_at=0.0)
+        assert clusters.cluster_of(orphan).size == 1
+
+        maintainer = _make_maintainer(bcbpt_scenario)
+        actions = maintainer.repair_clusters()
+
+        after = clusters.cluster_of(orphan)
+        assert after is not None
+        assert after.size > 1, "orphan should have merged back into a live cluster"
+        assert actions["orphans_reassigned"] >= 1
+        assert maintainer.orphans_reassigned >= 1
+
+    def test_orphan_with_no_close_cluster_keeps_connections(self, bcbpt_scenario):
+        """Re-homing never leaves an online orphan unconnected."""
+        policy = bcbpt_scenario.policy
+        network = bcbpt_scenario.network.network
+        big = max(policy.clusters.clusters(), key=lambda c: c.size)
+        orphan = max(big.member_list())
+        policy.clusters.create_cluster(orphan, created_at=0.0)
+        maintainer = _make_maintainer(bcbpt_scenario)
+        maintainer.repair_clusters()
+        assert network.topology.degree(orphan) > 0
+
+    def test_offline_singletons_are_left_alone(self, bcbpt_scenario):
+        policy = bcbpt_scenario.policy
+        network = bcbpt_scenario.network.network
+        big = max(policy.clusters.clusters(), key=lambda c: c.size)
+        orphan = max(big.member_list())
+        policy.clusters.create_cluster(orphan, created_at=0.0)
+        network.set_online(orphan, False)
+        maintainer = _make_maintainer(bcbpt_scenario)
+        actions = maintainer.repair_clusters()
+        assert actions["orphans_reassigned"] == 0
+        # Still stranded (and offline): nothing touched its membership.
+        assert policy.clusters.cluster_of(orphan).size == 1
+
+
+class TestRepresentativeReplacement:
+    def test_departed_founder_is_replaced_by_online_member(self, bcbpt_scenario):
+        policy = bcbpt_scenario.policy
+        network = bcbpt_scenario.network.network
+        cluster = max(policy.clusters.clusters(), key=lambda c: c.size)
+        assert cluster.size >= 2
+        founder = cluster.founder
+        cluster_id = cluster.cluster_id
+
+        maintainer = _make_maintainer(bcbpt_scenario)
+        assert maintainer.representative_of(cluster_id) == founder
+
+        # The founder/representative departs.
+        maintainer._handle_leave(founder)
+        assert not network.is_online(founder)
+        actions = maintainer.repair_clusters()
+
+        replacement = maintainer.representative_of(cluster_id)
+        assert replacement is not None
+        assert replacement != founder
+        assert network.is_online(replacement)
+        assert replacement in policy.clusters.cluster(cluster_id).members
+        assert actions["representatives_replaced"] >= 1
+        assert maintainer.representatives_replaced >= 1
+
+    def test_stable_representative_is_kept(self, bcbpt_scenario):
+        policy = bcbpt_scenario.policy
+        cluster = max(policy.clusters.clusters(), key=lambda c: c.size)
+        maintainer = _make_maintainer(bcbpt_scenario)
+        maintainer.repair_clusters()
+        first = maintainer.representative_of(cluster.cluster_id)
+        maintainer.repair_clusters()
+        assert maintainer.representative_of(cluster.cluster_id) == first
+        assert maintainer.representatives_replaced == 0
+
+    def test_dissolved_cluster_records_are_dropped(self, bcbpt_scenario):
+        policy = bcbpt_scenario.policy
+        maintainer = _make_maintainer(bcbpt_scenario)
+        maintainer.repair_clusters()
+        victim = min(policy.clusters.clusters(), key=lambda c: c.size)
+        victim_id = victim.cluster_id
+        for member in victim.member_list():
+            policy.clusters.remove_node(member)
+        maintainer.repair_clusters()
+        assert victim_id not in maintainer.cluster_representatives
+
+    def test_representative_of_unknown_cluster_is_none(self, bcbpt_scenario):
+        maintainer = _make_maintainer(bcbpt_scenario)
+        assert maintainer.representative_of(10_000) is None
+
+
+class TestOverlayRepair:
+    def test_isolated_node_is_rebridged(self, bcbpt_scenario):
+        network = bcbpt_scenario.network.network
+        node_id = network.node_ids()[-1]
+        for peer in list(network.topology.neighbors(node_id)):
+            network.disconnect(node_id, peer)
+        assert network.topology.degree(node_id) == 0
+
+        maintainer = _make_maintainer(bcbpt_scenario)
+        actions = maintainer.repair_clusters()
+
+        assert actions["bridges_created"] >= 1
+        assert maintainer.bridges_created >= 1
+        assert network.topology.degree(node_id) > 0
+        assert network.topology.is_connected()
+
+    def test_discovery_sweep_tops_up_underconnected_nodes(self, bcbpt_scenario):
+        network = bcbpt_scenario.network.network
+        policy = bcbpt_scenario.policy
+        node_id = network.node_ids()[0]
+        # Drop the node to a single link, well under the outbound quota.
+        for peer in list(network.topology.neighbors(node_id))[1:]:
+            network.disconnect(node_id, peer)
+        before = network.topology.degree(node_id)
+        assert before < policy.max_outbound
+
+        maintainer = _make_maintainer(bcbpt_scenario, discovery_interval_s=1.0)
+        maintainer._discovery_sweep()
+        assert network.topology.degree(node_id) >= before
+
+
+class TestMaintainerLifecycle:
+    def test_repair_timer_runs_periodically(self):
+        scenario = build_scenario(
+            "bcbpt",
+            NetworkParameters(node_count=30, seed=5),
+            latency_threshold_s=0.05,
+            churn=ChurnSchedule(
+                median_session_s=30.0,
+                stable_fraction=0.0,
+                mean_downtime_s=10.0,
+                discovery_interval_s=2.0,
+                repair_interval_s=5.0,
+            ),
+        )
+        scenario.start_churn()
+        scenario.simulator.run(until=60.0)
+        maintainer = scenario.maintainer
+        assert maintainer.repair_sweeps >= 5
+        assert maintainer.churn.leave_events > 0
+        maintainer.stop()
+        sweeps = maintainer.repair_sweeps
+        scenario.simulator.run(until=120.0)
+        assert maintainer.repair_sweeps == sweeps
+
+    def test_random_policy_orphans_fall_back_to_reconnection(self):
+        """The repair sweep works for the non-clustering policy too (no
+        clusters exist, so it reduces to overlay re-bridging)."""
+        scenario = build_scenario("bitcoin", NetworkParameters(node_count=30, seed=5))
+        maintainer = _make_maintainer(scenario)
+        actions = maintainer.repair_clusters()
+        assert actions == {
+            "representatives_replaced": 0,
+            "orphans_reassigned": 0,
+            "bridges_created": 0,
+        }

@@ -4,7 +4,13 @@ import pytest
 
 from repro.workloads.generators import TransactionWorkload, WorkloadConfig, fund_nodes
 from repro.workloads.network_gen import NetworkParameters, build_network
-from repro.workloads.scenarios import POLICY_NAMES, build_policy, build_scenario
+from repro.workloads.scenarios import (
+    POLICY_NAMES,
+    ChurnSchedule,
+    build_policy,
+    build_scenario,
+    validate_policy_name,
+)
 
 
 class TestNetworkParameters:
@@ -159,3 +165,104 @@ class TestScenarios:
         pos_a = [(n.position.latitude, n.position.longitude) for n in a.network.nodes.values()]
         pos_b = [(n.position.latitude, n.position.longitude) for n in b.network.nodes.values()]
         assert pos_a == pos_b
+
+    def test_validate_policy_name_accepts_known_and_rejects_unknown(self):
+        for name in POLICY_NAMES:
+            assert validate_policy_name(name) == name
+        with pytest.raises(ValueError, match="unknown policy 'btc'"):
+            validate_policy_name("btc")
+
+    def test_build_scenario_rejects_unknown_policy_before_building(self):
+        # The name check fires before any (expensive) network construction.
+        with pytest.raises(ValueError, match="unknown policy"):
+            build_scenario("mystery", NetworkParameters(node_count=25, seed=8))
+
+
+class TestChurnSchedule:
+    def test_defaults_valid(self):
+        schedule = ChurnSchedule()
+        params = schedule.session_parameters()
+        assert params.median_session_s == schedule.median_session_s
+        assert params.stable_fraction == schedule.stable_fraction
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"median_session_s": 0.0},
+            {"sigma": -1.0},
+            {"stable_fraction": 1.5},
+            {"stable_session_s": 0.0},
+            {"mean_downtime_s": -1.0},
+            {"start_delay_s": -0.1},
+            {"discovery_interval_s": 0.0},
+            {"repair_interval_s": -2.0},
+        ],
+    )
+    def test_invalid_schedule_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ChurnSchedule(**kwargs)
+
+
+class TestDynamicScenario:
+    SCHEDULE = ChurnSchedule(
+        median_session_s=20.0,
+        stable_fraction=0.0,
+        mean_downtime_s=10.0,
+        discovery_interval_s=2.0,
+        repair_interval_s=5.0,
+    )
+
+    def test_static_scenario_has_no_maintainer(self):
+        scenario = build_scenario("bcbpt", NetworkParameters(node_count=25, seed=8))
+        assert not scenario.dynamic
+        assert scenario.maintainer is None
+        with pytest.raises(RuntimeError, match="without a ChurnSchedule"):
+            scenario.start_churn()
+
+    def test_churn_schedule_wires_maintainer_and_resync(self):
+        scenario = build_scenario(
+            "bcbpt", NetworkParameters(node_count=25, seed=8), churn=self.SCHEDULE
+        )
+        assert scenario.dynamic
+        assert scenario.maintainer is not None
+        assert scenario.churn is self.SCHEDULE
+        # Every node resynchronises inventory on reconnect under churn.
+        for node in scenario.network.nodes.values():
+            assert node.config.resync_on_reconnect
+        # The network's session model follows the schedule.
+        assert (
+            scenario.network.session_model.parameters.median_session_s
+            == self.SCHEDULE.median_session_s
+        )
+
+    def test_start_churn_spares_requested_nodes(self):
+        scenario = build_scenario(
+            "bcbpt", NetworkParameters(node_count=25, seed=8), churn=self.SCHEDULE
+        )
+        spared = scenario.network.node_ids()[:2]
+        scenario.start_churn(spare=spared)
+        scenario.simulator.run(until=200.0)
+        maintainer = scenario.maintainer
+        assert maintainer.churn.leave_events > 0
+        network = scenario.network.network
+        for node_id in spared:
+            assert network.is_online(node_id), "spared nodes must never leave"
+            assert node_id not in maintainer.churn._online
+
+    def test_start_delay_postpones_churn(self):
+        delayed = ChurnSchedule(
+            median_session_s=20.0,
+            stable_fraction=0.0,
+            mean_downtime_s=10.0,
+            start_delay_s=50.0,
+            discovery_interval_s=None,
+            repair_interval_s=None,
+        )
+        scenario = build_scenario(
+            "bcbpt", NetworkParameters(node_count=25, seed=8), churn=delayed
+        )
+        scenario.start_churn()
+        scenario.simulator.run(until=40.0)
+        assert scenario.maintainer.churn.leave_events == 0
+        scenario.simulator.run(until=200.0)
+        assert scenario.maintainer.churn.leave_events > 0
