@@ -7,33 +7,36 @@ import pytest
 pytestmark = pytest.mark.slow
 
 
-from repro.experiments.ablation import (
-    build_report,
-    run_long_link_ablation,
-    run_verification_ablation,
-)
+from repro.experiments.api import run_experiment
 
 
 @pytest.fixture(scope="module")
-def verification_points(quick_config):
-    return run_verification_ablation(quick_config)
+def ablation_run(quick_config):
+    return run_experiment("ablation", quick_config)
 
 
 @pytest.fixture(scope="module")
-def long_link_points(quick_config):
-    return run_long_link_ablation(quick_config, counts=(0, 2, 5))
+def verification_points(ablation_run):
+    return ablation_run.payload.verification
 
 
-def test_bench_ablation(benchmark, quick_config, verification_points, long_link_points):
+@pytest.fixture(scope="module")
+def long_link_points(ablation_run):
+    return ablation_run.payload.long_links
+
+
+def test_bench_ablation(benchmark, quick_config, ablation_run):
     """Time the pipelined-relay variant and report both ablation tables."""
 
     def pipelined_only():
+        from repro.experiments.ablation import run_verification_ablation
+
         small = quick_config.with_overrides(seeds=quick_config.seeds[:1], runs=2)
         return run_verification_ablation(small)
 
     benchmark.pedantic(pipelined_only, rounds=1, iterations=1)
     print()
-    print(build_report(verification_points, long_link_points).render())
+    print(ablation_run.render())
 
 
 def test_ablation_verification_delay_costs_time(verification_points):

@@ -7,32 +7,37 @@ import pytest
 pytestmark = pytest.mark.slow
 
 
-from repro.experiments.attacks import build_report, run_eclipse, run_partition
+from repro.experiments.api import run_experiment
 
 
 @pytest.fixture(scope="module")
-def eclipse_results(quick_config):
-    return run_eclipse(quick_config, adversary_fraction=0.15)
+def attacks_run(quick_config):
+    return run_experiment("attacks", quick_config, {"adversary_fraction": 0.15})
 
 
 @pytest.fixture(scope="module")
-def partition_results(quick_config):
-    return run_partition(quick_config)
+def eclipse_results(attacks_run):
+    return attacks_run.payload.eclipse
 
 
-def test_bench_attacks(benchmark, quick_config, eclipse_results, partition_results):
+@pytest.fixture(scope="module")
+def partition_results(attacks_run):
+    return attacks_run.payload.partition
+
+
+def test_bench_attacks(benchmark, quick_config, attacks_run):
     """Time one eclipse evaluation and report both attack analyses."""
 
-    def eclipse_only():
-        return run_eclipse(
+    def bcbpt_only():
+        return run_experiment(
+            "attacks",
             quick_config.with_overrides(seeds=quick_config.seeds[:1]),
-            adversary_fraction=0.15,
-            protocols=("bcbpt",),
+            {"adversary_fraction": 0.15, "protocols": ("bcbpt",)},
         )
 
-    benchmark.pedantic(eclipse_only, rounds=1, iterations=1)
+    benchmark.pedantic(bcbpt_only, rounds=1, iterations=1)
     print()
-    print(build_report(eclipse_results, partition_results).render())
+    print(attacks_run.render())
 
 
 def test_eclipse_proximity_clustering_raises_exposure(eclipse_results):

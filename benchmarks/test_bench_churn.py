@@ -3,20 +3,17 @@
 Unlike the figure benchmarks (marked ``slow``), this module runs in the quick
 ``-m "not slow"`` lane: it drives the whole dynamic-membership stack — churn
 schedule, session processes, connection teardown, policy repair, measurement
-under churn, parallel fan-out and the ordered merge — at a deliberately small
-scale, under a generous wall-clock bound so a runtime regression in the churn
-path fails loudly without tying CI to machine speed.
+under churn, parallel fan-out and the ordered merge — through the unified
+experiment API at a deliberately small scale, under a generous wall-clock
+bound so a runtime regression in the churn path fails loudly without tying CI
+to machine speed.
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.experiments.churn_resilience import (
-    build_report,
-    clustering_survives_churn,
-    run_churn_resilience,
-)
+from repro.experiments.api import run_experiment
 
 #: Generous upper bound (the run takes a few seconds on any recent machine).
 WALL_CLOCK_BOUND_S = 30.0
@@ -31,8 +28,9 @@ def test_churn_resilience_end_to_end_quickly(bench_config):
         run_timeout_s=30.0,
     )
     start = time.perf_counter()
-    results = run_churn_resilience(config, levels=("static", "heavy"))
+    run = run_experiment("churn_resilience", config, {"levels": ("static", "heavy")})
     elapsed = time.perf_counter() - start
+    results = run.payload
 
     assert set(results) == {
         f"{protocol}/{level}"
@@ -49,10 +47,10 @@ def test_churn_resilience_end_to_end_quickly(bench_config):
     # The clustered protocols' maintenance actually ran under churn.
     assert results["bcbpt/heavy"].repair_sweeps > 0
     assert results["lbc/heavy"].repair_sweeps > 0
-    assert clustering_survives_churn(results)
+    assert run.verdicts["clustering_survives_churn"]
 
     print()
-    print(build_report(results).render())
+    print(run.render())
     assert elapsed < WALL_CLOCK_BOUND_S, (
         f"churn resilience run regressed: {elapsed:.1f}s (bound {WALL_CLOCK_BOUND_S}s)"
     )

@@ -9,28 +9,34 @@ import pytest
 pytestmark = pytest.mark.slow
 
 
-from repro.experiments.doublespend import build_report, run_doublespend
+from repro.experiments.api import run_experiment
 
 
 @pytest.fixture(scope="module")
-def doublespend_points(quick_config):
-    return run_doublespend(quick_config, races_per_seed=4, race_horizon_s=2.0)
+def doublespend_run(quick_config):
+    return run_experiment(
+        "doublespend", quick_config, {"races_per_seed": 4, "race_horizon_s": 2.0}
+    )
 
 
-def test_bench_doublespend(benchmark, quick_config, doublespend_points):
+@pytest.fixture(scope="module")
+def doublespend_points(doublespend_run):
+    return doublespend_run.payload
+
+
+def test_bench_doublespend(benchmark, quick_config, doublespend_run):
     """Time a single-protocol race batch and report the comparison."""
 
     def bcbpt_only():
-        return run_doublespend(
+        return run_experiment(
+            "doublespend",
             quick_config.with_overrides(seeds=quick_config.seeds[:1]),
-            races_per_seed=2,
-            race_horizon_s=1.0,
-            protocols=("bcbpt",),
+            {"races_per_seed": 2, "race_horizon_s": 1.0, "protocols": ("bcbpt",)},
         )
 
     benchmark.pedantic(bcbpt_only, rounds=1, iterations=1)
     print()
-    print(build_report(doublespend_points).render())
+    print(doublespend_run.render())
 
 
 def test_doublespend_merchant_detects_conflict_everywhere(doublespend_points):

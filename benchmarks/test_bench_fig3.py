@@ -1,6 +1,7 @@
 """Fig. 3 benchmark — Δt distribution: Bitcoin vs LBC vs BCBPT at d_t = 25 ms.
 
-Regenerates the paper's headline comparison and asserts its shape: the BCBPT
+Regenerates the paper's headline comparison through the unified experiment
+API (``run_experiment("fig3", ...)``) and asserts its shape: the BCBPT
 protocol achieves lower mean propagation delay *and* lower delay variance than
 both the LBC protocol and the unmodified Bitcoin protocol.
 """
@@ -12,32 +13,37 @@ import pytest
 pytestmark = pytest.mark.slow
 
 
-from repro.experiments.fig3 import build_report, expected_ordering_holds, run_fig3
+from repro.experiments.api import run_experiment
 
 
 @pytest.fixture(scope="module")
-def fig3_results(bench_config):
-    return run_fig3(bench_config)
+def fig3_run(bench_config):
+    return run_experiment("fig3", bench_config)
 
 
-def test_bench_fig3_comparison(benchmark, bench_config, fig3_results):
+@pytest.fixture(scope="module")
+def fig3_results(fig3_run):
+    return fig3_run.payload
+
+
+def test_bench_fig3_comparison(benchmark, bench_config, fig3_run):
     """Time one full single-seed Fig. 3 style campaign and report the table."""
 
     def single_seed_campaign():
         quick = bench_config.with_overrides(seeds=bench_config.seeds[:1], runs=3)
-        return run_fig3(quick)
+        return run_experiment("fig3", quick)
 
     benchmark.pedantic(single_seed_campaign, rounds=1, iterations=1)
     print()
-    print(build_report(fig3_results).render())
+    print(fig3_run.render())
     # The headline reproduction criterion is asserted here too so that a
     # ``--benchmark-only`` run still verifies the paper's ordering.
-    assert expected_ordering_holds(fig3_results)
+    assert fig3_run.verdicts["paper_ordering"]
 
 
-def test_fig3_paper_ordering_holds(fig3_results):
+def test_fig3_paper_ordering_holds(fig3_run):
     """Reproduction criterion: BCBPT < LBC < Bitcoin in mean and variance."""
-    assert expected_ordering_holds(fig3_results)
+    assert fig3_run.verdicts["paper_ordering"]
 
 
 def test_fig3_bcbpt_improvement_is_substantial(fig3_results):
@@ -59,3 +65,9 @@ def test_fig3_variance_rank_shape(fig3_results):
     assert shared, "the two curves must share reception ranks"
     late = shared[len(shared) // 2 :]
     assert all(bitcoin_curve[rank] > bcbpt_curve[rank] for rank in late)
+
+
+def test_fig3_envelope_summaries_match_payload(fig3_run, fig3_results):
+    """The persisted envelope's summaries mirror the in-memory aggregates."""
+    for protocol, result in fig3_results.items():
+        assert fig3_run.summaries[protocol] == result.summary()

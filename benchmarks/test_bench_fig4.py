@@ -1,8 +1,9 @@
 """Fig. 4 benchmark — Δt distribution for BCBPT at d_t ∈ {30, 50, 100} ms.
 
-Regenerates the paper's threshold study and asserts its trend: a smaller
-latency threshold yields a lower variance of the transaction propagation
-delay, because clusters stay smaller and their links shorter.
+Regenerates the paper's threshold study through the unified experiment API
+and asserts its trend: a smaller latency threshold yields a lower variance of
+the transaction propagation delay, because clusters stay smaller and their
+links shorter.
 """
 
 from __future__ import annotations
@@ -12,31 +13,36 @@ import pytest
 pytestmark = pytest.mark.slow
 
 
-from repro.experiments.fig4 import build_report, run_fig4, variance_is_monotone
+from repro.experiments.api import run_experiment
 
 
 @pytest.fixture(scope="module")
-def fig4_results(bench_config):
-    return run_fig4(bench_config)
+def fig4_run(bench_config):
+    return run_experiment("fig4", bench_config)
 
 
-def test_bench_fig4_threshold_study(benchmark, bench_config, fig4_results):
+@pytest.fixture(scope="module")
+def fig4_results(fig4_run):
+    return fig4_run.payload
+
+
+def test_bench_fig4_threshold_study(benchmark, bench_config, fig4_run):
     """Time one single-seed threshold sweep and report the full table."""
 
     def single_seed_sweep():
         quick = bench_config.with_overrides(seeds=bench_config.seeds[:1], runs=3)
-        return run_fig4(quick)
+        return run_experiment("fig4", quick)
 
     benchmark.pedantic(single_seed_sweep, rounds=1, iterations=1)
     print()
-    print(build_report(fig4_results).render())
+    print(fig4_run.render())
     # Assert the paper's trend here too so a ``--benchmark-only`` run checks it.
-    assert variance_is_monotone(fig4_results)
+    assert fig4_run.verdicts["variance_monotone"]
 
 
-def test_fig4_variance_monotone_in_threshold(fig4_results):
+def test_fig4_variance_monotone_in_threshold(fig4_run):
     """Reproduction criterion: Δt variance does not decrease as d_t grows."""
-    assert variance_is_monotone(fig4_results)
+    assert fig4_run.verdicts["variance_monotone"]
 
 
 def test_fig4_smallest_threshold_is_best(fig4_results):

@@ -7,26 +7,32 @@ import pytest
 pytestmark = pytest.mark.slow
 
 
-from repro.experiments.overhead import build_report, run_overhead
+from repro.experiments.api import run_experiment
 
 
 @pytest.fixture(scope="module")
-def overhead_points(quick_config):
-    return run_overhead(quick_config)
+def overhead_run(quick_config):
+    return run_experiment("overhead", quick_config)
 
 
-def test_bench_overhead(benchmark, quick_config, overhead_points):
+@pytest.fixture(scope="module")
+def overhead_points(overhead_run):
+    return overhead_run.payload
+
+
+def test_bench_overhead(benchmark, quick_config, overhead_run):
     """Time a single-protocol overhead evaluation and report the comparison."""
 
     def bcbpt_only():
-        return run_overhead(
+        return run_experiment(
+            "overhead",
             quick_config.with_overrides(seeds=quick_config.seeds[:1], runs=2),
-            protocols=("bcbpt",),
+            {"protocols": ("bcbpt",)},
         )
 
     benchmark.pedantic(bcbpt_only, rounds=1, iterations=1)
     print()
-    print(build_report(overhead_points).render())
+    print(overhead_run.render())
 
 
 def test_overhead_bcbpt_pays_for_measurement(overhead_points):

@@ -7,28 +7,36 @@ import pytest
 pytestmark = pytest.mark.slow
 
 
-from repro.experiments.threshold_sweep import build_report, run_threshold_sweep
+from repro.experiments.api import run_experiment
 
-SWEEP_THRESHOLDS_S = (0.015, 0.025, 0.050, 0.100, 0.200)
+SWEEP_THRESHOLDS_MS = (15, 25, 50, 100, 200)
 
 
 @pytest.fixture(scope="module")
-def sweep_points(quick_config):
-    return run_threshold_sweep(quick_config, thresholds_s=SWEEP_THRESHOLDS_S)
+def sweep_run(quick_config):
+    return run_experiment(
+        "threshold_sweep", quick_config, {"thresholds_ms": SWEEP_THRESHOLDS_MS}
+    )
 
 
-def test_bench_threshold_sweep(benchmark, quick_config, sweep_points):
+@pytest.fixture(scope="module")
+def sweep_points(sweep_run):
+    return sweep_run.payload
+
+
+def test_bench_threshold_sweep(benchmark, quick_config, sweep_run):
     """Time a single-threshold evaluation and report the full sweep table."""
 
     def single_threshold():
-        return run_threshold_sweep(
+        return run_experiment(
+            "threshold_sweep",
             quick_config.with_overrides(seeds=quick_config.seeds[:1], runs=2),
-            thresholds_s=(0.025,),
+            {"thresholds_ms": (25,)},
         )
 
     benchmark.pedantic(single_threshold, rounds=1, iterations=1)
     print()
-    print(build_report(sweep_points).render())
+    print(sweep_run.render())
 
 
 def test_sweep_cluster_count_decreases_with_threshold(sweep_points):

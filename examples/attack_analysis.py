@@ -4,7 +4,9 @@
 The paper's security discussion (Section V.C) worries that proximity-based
 clustering makes eclipse and partition attacks easier, and its motivation
 (Section I) argues that faster propagation reduces double-spend risk.  This
-example quantifies both sides of that trade-off for the three protocols.
+example quantifies both sides of that trade-off for the three protocols,
+running the registered ``attacks`` and ``doublespend`` experiments through
+the unified API.
 
 Run with::
 
@@ -15,9 +17,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.experiments.attacks import build_report as attacks_report, run_eclipse, run_partition
+from repro.experiments.api import run_experiment
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.doublespend import build_report as doublespend_report, run_doublespend
 
 
 def main() -> int:
@@ -33,18 +34,21 @@ def main() -> int:
     )
 
     print("Evaluating eclipse and partition exposure ...")
-    eclipse = run_eclipse(config, adversary_fraction=args.adversary_fraction)
-    partition = run_partition(config)
+    attacks = run_experiment(
+        "attacks", config, {"adversary_fraction": args.adversary_fraction}
+    )
     print()
-    print(attacks_report(eclipse, partition).render())
+    print(attacks.render())
 
     print()
     print("Staging double-spend races ...")
-    races = run_doublespend(config, races_per_seed=args.races, race_horizon_s=2.0)
+    doublespend = run_experiment(
+        "doublespend", config, {"races_per_seed": args.races, "race_horizon_s": 2.0}
+    )
     print()
-    print(doublespend_report(races).render())
+    print(doublespend.render())
 
-    by_name = {r.protocol: r for r in eclipse}
+    by_name = {r.protocol: r for r in attacks.payload.eclipse}
     print()
     print("Trade-off summary:")
     print(
@@ -52,7 +56,7 @@ def main() -> int:
         f"vs bcbpt {by_name['bcbpt'].eclipsed_fraction:.2f} "
         "(clustering concentrates the victim's neighbourhood)"
     )
-    race_by_name = {p.protocol: p for p in races}
+    race_by_name = {p.protocol: p for p in doublespend.payload}
     print(
         f"  attacker first-seen share: bitcoin {race_by_name['bitcoin'].mean_attacker_share:.2f} "
         f"vs bcbpt {race_by_name['bcbpt'].mean_attacker_share:.2f} "

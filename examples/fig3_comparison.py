@@ -3,20 +3,24 @@
 
 Runs the measuring-node campaign under the vanilla Bitcoin protocol, the LBC
 geographic clustering protocol and BCBPT (d_t = 25 ms) on identically seeded
-networks, then prints the delay summaries, the per-rank variance curve and
-whether the paper's ordering (BCBPT < LBC < Bitcoin) holds.
-
-Run with::
+networks — through the unified experiment API — then prints the delay
+summaries, the per-rank variance curve and whether the paper's ordering
+(BCBPT < LBC < Bitcoin) holds, and persists the run to the result store so it
+can be diffed against later runs::
 
     python examples/fig3_comparison.py --nodes 200 --runs 10 --seeds 3 11
+    python -m repro.experiments compare fig3     # after two runs
+
+(The same experiment is available directly as ``repro run fig3``.)
 """
 
 from __future__ import annotations
 
 import argparse
 
+from repro.experiments.api import run_experiment
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.fig3 import build_report, expected_ordering_holds, run_fig3
+from repro.experiments.results import ResultStore
 
 
 def main() -> int:
@@ -25,6 +29,8 @@ def main() -> int:
     parser.add_argument("--runs", type=int, default=10)
     parser.add_argument("--seeds", type=int, nargs="+", default=[3, 11])
     parser.add_argument("--measuring-nodes", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--no-save", action="store_true")
     args = parser.parse_args()
 
     config = ExperimentConfig(
@@ -32,16 +38,20 @@ def main() -> int:
         runs=args.runs,
         seeds=tuple(args.seeds),
         measuring_nodes=args.measuring_nodes,
+        workers=args.workers,
     )
     print(
         f"Comparing bitcoin / lbc / bcbpt on {args.nodes}-node networks, "
         f"{len(args.seeds)} seed(s), {args.runs} runs per measuring node ..."
     )
-    results = run_fig3(config)
+    result = run_experiment("fig3", config)
     print()
-    print(build_report(results).render())
-    print()
-    if expected_ordering_holds(results):
+    print(result.render())
+    if not args.no_save:
+        run_dir = ResultStore().save(result)
+        print()
+        print(f"saved: {run_dir}")
+    if result.verdicts["paper_ordering"]:
         print("Paper ordering (BCBPT < LBC < Bitcoin in mean and variance): HOLDS")
         return 0
     print("Paper ordering (BCBPT < LBC < Bitcoin in mean and variance): DOES NOT HOLD")

@@ -3,22 +3,25 @@
 
 The paper's Fig. 4 shows that smaller latency thresholds give lower delay
 variance, but very small thresholds fragment the overlay into many tiny
-clusters that lean on long-distance links.  This example sweeps a range of
-thresholds (including the paper's 25/30/50/100 ms values), prints the
-delay-vs-cluster-structure table, and recommends the threshold with the lowest
-p90 delay.
+clusters that lean on long-distance links.  This example runs the registered
+``threshold_sweep`` experiment over a range of thresholds (including the
+paper's 25/30/50/100 ms values), prints the delay-vs-cluster-structure table,
+and recommends the threshold with the lowest p90 delay.
 
 Run with::
 
     python examples/threshold_tuning.py --nodes 150 --thresholds-ms 15 25 50 100 200
+
+(The same experiment is available directly as ``repro run threshold_sweep``,
+including ``--sweep`` support for grid runs over any config field.)
 """
 
 from __future__ import annotations
 
 import argparse
 
+from repro.experiments.api import run_experiment
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.threshold_sweep import build_report, run_threshold_sweep
 
 
 def main() -> int:
@@ -29,17 +32,26 @@ def main() -> int:
     parser.add_argument(
         "--thresholds-ms", type=float, nargs="+", default=[15, 25, 50, 100, 200]
     )
+    parser.add_argument("--workers", type=int, default=1)
     args = parser.parse_args()
 
     config = ExperimentConfig(
-        node_count=args.nodes, runs=args.runs, seeds=tuple(args.seeds), measuring_nodes=2
+        node_count=args.nodes,
+        runs=args.runs,
+        seeds=tuple(args.seeds),
+        measuring_nodes=2,
+        workers=args.workers,
     )
-    thresholds_s = tuple(t / 1000.0 for t in sorted(args.thresholds_ms))
     print(f"Sweeping BCBPT thresholds {sorted(args.thresholds_ms)} ms on {args.nodes} nodes ...")
-    points = run_threshold_sweep(config, thresholds_s=thresholds_s)
+    result = run_experiment(
+        "threshold_sweep",
+        config,
+        {"thresholds_ms": tuple(sorted(args.thresholds_ms))},
+    )
     print()
-    print(build_report(points).render())
+    print(result.render())
 
+    points = result.payload
     best = min(points, key=lambda point: point.p90_delay_s)
     print()
     print(

@@ -1,12 +1,43 @@
-"""Legacy setup shim.
+"""Package metadata and entry points.
 
 The offline environment ships setuptools without the ``wheel`` package, so
 PEP 660 editable installs (``pip install -e .`` with build isolation) cannot
-build an editable wheel.  This shim lets ``pip install -e . --no-build-isolation``
-fall back to the classic ``setup.py develop`` path.  All project metadata
-lives in ``pyproject.toml``.
+build an editable wheel; ``pip install -e . --no-build-isolation`` (or the
+classic ``python setup.py develop``) is the supported install path, which is
+why the metadata lives here rather than in a ``pyproject.toml``.
+
+Installing exposes the ``repro`` console script — the unified experiment CLI
+(equivalent to ``python -m repro.experiments``)::
+
+    repro list
+    repro run fig3 --nodes 200 --runs 10 --workers 4
+    repro compare fig3
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_VERSION: dict[str, str] = {}
+exec((Path(__file__).parent / "src" / "repro" / "version.py").read_text(), _VERSION)
+
+setup(
+    name="repro-bcbpt",
+    version=_VERSION["__version__"],
+    description=(
+        "Discrete-event reproduction of the BCBPT proximity-clustering "
+        "protocol (Sallal, Owenson, Adda; ICDCS 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "networkx",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.experiments.cli:main",
+        ],
+    },
+)

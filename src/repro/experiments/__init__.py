@@ -23,17 +23,46 @@ Each module corresponds to one experiment in DESIGN.md's index:
 
 They all build on :class:`repro.experiments.runner.PropagationExperiment` and
 report through :mod:`repro.experiments.reporting`.
+
+Every driver registers itself with the declarative registry
+(:mod:`repro.experiments.api`) and is reachable through the unified CLI::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig3 --nodes 200 --runs 10 --workers 4
+
+Results persist as JSON envelopes in a :class:`~repro.experiments.results.
+ResultStore` under ``results/`` and can be reloaded and diffed
+(``python -m repro.experiments compare fig3``).  The old per-module entry
+points (``python -m repro.experiments.fig3`` ...) remain as deprecation shims.
 """
 
+from repro.experiments.api import (
+    ExperimentOption,
+    ExperimentSpec,
+    experiment,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import ExperimentReport, format_table
+from repro.experiments.results import ExperimentResult, ResultStore, diff_results
 from repro.experiments.runner import PropagationExperiment, PropagationResult, run_protocol_comparison
 
 __all__ = [
     "ExperimentConfig",
+    "ExperimentOption",
     "ExperimentReport",
+    "ExperimentResult",
+    "ExperimentSpec",
     "PropagationExperiment",
     "PropagationResult",
+    "ResultStore",
+    "diff_results",
+    "experiment",
+    "experiment_names",
     "format_table",
+    "get_experiment",
+    "run_experiment",
     "run_protocol_comparison",
 ]

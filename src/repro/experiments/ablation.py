@@ -16,13 +16,14 @@ methodology as the main figures:
 
 from __future__ import annotations
 
-import argparse
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional, Sequence
 
 from repro.core.bcbpt import BcbptConfig, BcbptPolicy
+from repro.experiments.api import deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.parallel import AblationJob, ParallelRunner, run_ablation_job
+from repro.experiments.grid import run_seed_grid
+from repro.experiments.parallel import AblationJob, run_ablation_job
 from repro.experiments.reporting import ExperimentReport, format_table
 from repro.measurement.stats import DelayDistribution
 from repro.protocol.node import NodeConfig
@@ -75,26 +76,24 @@ def _measure_variants(
 ) -> list[AblationPoint]:
     """Measure several ablation variants, fanning (variant, seed) jobs out.
 
-    Jobs merge in submission order, so results are identical for every worker
-    count.
+    The shared seed-grid executor regroups in submission order, so results
+    are identical for every worker count.
     """
-    jobs = [
-        AblationJob(
+
+    def make_job(variant_knobs: tuple[str, dict[str, object]], seed: int) -> AblationJob:
+        variant, knobs = variant_knobs
+        return AblationJob(
             variant=variant,
             seed=seed,
             verification_enabled=bool(knobs.get("verification_enabled", True)),
             long_links_per_node=int(knobs.get("long_links_per_node", 2)),
             config=cfg,
         )
-        for variant, knobs in variants
-        for seed in cfg.seeds
-    ]
-    job_results = ParallelRunner.from_config(cfg).map_jobs(run_ablation_job, jobs)
+
+    grid = run_seed_grid(variants, make_job, run_ablation_job, cfg)
 
     points: list[AblationPoint] = []
-    seeds_per_variant = len(cfg.seeds)
-    for index, (variant, _) in enumerate(variants):
-        seed_results = job_results[index * seeds_per_variant : (index + 1) * seeds_per_variant]
+    for (variant, _), seed_results in grid:
         delays = DelayDistribution()
         degrees: list[float] = []
         path_lengths: list[float] = []
@@ -114,6 +113,14 @@ def _measure_variants(
             )
         )
     return points
+
+
+@dataclass(frozen=True)
+class AblationOutcome:
+    """The combined payload of the registered ``ablation`` experiment."""
+
+    verification: list[AblationPoint]
+    long_links: list[AblationPoint]
 
 
 def run_verification_ablation(config: Optional[ExperimentConfig] = None) -> list[AblationPoint]:
@@ -170,16 +177,38 @@ def build_report(
     return report
 
 
+def summarize(outcome: AblationOutcome) -> dict[str, dict[str, float]]:
+    """Per-variant scalar summaries for the result envelope."""
+    summaries: dict[str, dict[str, float]] = {}
+    for group, points in (
+        ("verification", outcome.verification),
+        ("long-links", outcome.long_links),
+    ):
+        for point in points:
+            summaries[f"{group}/{point.variant}"] = asdict(point)
+    return summaries
+
+
+@experiment(
+    "ablation",
+    experiment_id="Ext-5",
+    title="Ablations: verification delay and long-distance links",
+    description=__doc__,
+    protocols=("bcbpt",),
+    report=lambda outcome: build_report(outcome.verification, outcome.long_links),
+    summarize=summarize,
+)
+def run_ablations(config: Optional[ExperimentConfig] = None) -> AblationOutcome:
+    """Run both ablations and return the combined outcome."""
+    return AblationOutcome(
+        verification=run_verification_ablation(config),
+        long_links=run_long_link_ablation(config),
+    )
+
+
 def main(argv: Optional[list[str]] = None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    ExperimentConfig.add_cli_arguments(parser)
-    args = parser.parse_args(argv)
-    config = ExperimentConfig.from_cli(args)
-    verification = run_verification_ablation(config)
-    long_links = run_long_link_ablation(config)
-    print(build_report(verification, long_links).render())
-    return 0
+    """Deprecated CLI shim; forwards to ``repro run ablation``."""
+    return deprecated_main("ablation", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

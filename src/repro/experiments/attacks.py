@@ -18,20 +18,31 @@ Two scenario harnesses:
   them actually disconnects the cluster (the attack effect).  For the
   non-clustered Bitcoin baseline, the "cluster" is the victim's geographic
   region.
+
+Run via ``python -m repro.experiments run attacks [--adversary-fraction F]``;
+``python -m repro.experiments.attacks`` remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
-import argparse
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional, Sequence
 
 import networkx as nx
 
+from repro.experiments.api import ExperimentOption, deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import run_seed_grid
+from repro.experiments.parallel import (
+    EclipseJob,
+    EclipseJobResult,
+    PartitionJob,
+    PartitionJobResult,
+    run_eclipse_job,
+    run_partition_job,
+)
 from repro.experiments.reporting import ExperimentReport, format_table
-from repro.workloads.network_gen import NetworkParameters
-from repro.workloads.scenarios import Scenario, build_scenario, validate_policy_name
+from repro.workloads.scenarios import Scenario
 
 ATTACK_PROTOCOLS = ("bitcoin", "lbc", "bcbpt")
 
@@ -72,6 +83,14 @@ class PartitionResult:
         return self.boundary_links / self.total_links
 
 
+@dataclass(frozen=True)
+class AttackOutcome:
+    """The combined payload of the registered ``attacks`` experiment."""
+
+    eclipse: list[EclipseResult]
+    partition: list[PartitionResult]
+
+
 def _pick_victim(scenario: Scenario) -> int:
     """A deterministic victim: the first node of the most common region."""
     simulated = scenario.network
@@ -80,6 +99,33 @@ def _pick_victim(scenario: Scenario) -> int:
         by_region.setdefault(simulated.node(node_id).position.region, []).append(node_id)
     region = max(by_region, key=lambda r: len(by_region[r]))
     return min(by_region[region])
+
+
+def run_eclipse_seed(job: EclipseJob) -> EclipseJobResult:
+    """Measure one (protocol, seed) eclipse exposure — the parallel job body."""
+    from repro.workloads.network_gen import NetworkParameters
+    from repro.workloads.scenarios import build_scenario
+
+    cfg = job.config
+    scenario = build_scenario(
+        job.protocol,
+        NetworkParameters(node_count=cfg.node_count, seed=job.seed),
+        latency_threshold_s=cfg.latency_threshold_s,
+        max_outbound=cfg.max_outbound,
+    )
+    network = scenario.network.network
+    victim = _pick_victim(scenario)
+    others = [n for n in scenario.network.node_ids() if n != victim]
+    others.sort(key=lambda peer: network.base_rtt(victim, peer))
+    adversary_count = max(1, int(job.adversary_fraction * cfg.node_count))
+    adversary_nodes = set(others[:adversary_count])
+    neighbors = network.neighbors(victim)
+    return EclipseJobResult(
+        protocol=job.protocol,
+        seed=job.seed,
+        victim_connection_count=len(neighbors),
+        adversarial_connection_count=sum(1 for peer in neighbors if peer in adversary_nodes),
+    )
 
 
 def run_eclipse(
@@ -92,42 +138,69 @@ def run_eclipse(
 
     The adversary's nodes are the ``adversary_fraction`` of nodes nearest (in
     latency) to the victim, modelling an attacker that deliberately provisions
-    peers close to its target — the strategy the paper warns about.
+    peers close to its target — the strategy the paper warns about.  Each
+    (protocol, seed) build fans out over the shared seed-grid executor.
     """
     if not 0 < adversary_fraction < 1:
         raise ValueError("adversary_fraction must be in (0, 1)")
     cfg = config if config is not None else ExperimentConfig()
-    for protocol in protocols:
-        validate_policy_name(protocol)
-    results: list[EclipseResult] = []
-    for protocol in protocols:
-        victim_connections = 0
-        adversarial = 0
-        for seed in cfg.seeds:
-            scenario = build_scenario(
-                protocol,
-                NetworkParameters(node_count=cfg.node_count, seed=seed),
-                latency_threshold_s=cfg.latency_threshold_s,
-                max_outbound=cfg.max_outbound,
-            )
-            network = scenario.network.network
-            victim = _pick_victim(scenario)
-            others = [n for n in scenario.network.node_ids() if n != victim]
-            others.sort(key=lambda peer: network.base_rtt(victim, peer))
-            adversary_count = max(1, int(adversary_fraction * cfg.node_count))
-            adversary_nodes = set(others[:adversary_count])
-            neighbors = network.neighbors(victim)
-            victim_connections += len(neighbors)
-            adversarial += sum(1 for peer in neighbors if peer in adversary_nodes)
-        results.append(
-            EclipseResult(
-                protocol=protocol,
-                adversary_fraction=adversary_fraction,
-                victim_connection_count=victim_connections,
-                adversarial_connection_count=adversarial,
-            )
+
+    def make_job(protocol: str, seed: int) -> EclipseJob:
+        return EclipseJob(
+            protocol=protocol,
+            seed=seed,
+            adversary_fraction=adversary_fraction,
+            config=cfg,
         )
-    return results
+
+    grid = run_seed_grid(protocols, make_job, run_eclipse_job, cfg)
+    return [
+        EclipseResult(
+            protocol=protocol,
+            adversary_fraction=adversary_fraction,
+            victim_connection_count=sum(r.victim_connection_count for r in seed_results),
+            adversarial_connection_count=sum(
+                r.adversarial_connection_count for r in seed_results
+            ),
+        )
+        for protocol, seed_results in grid
+    ]
+
+
+def run_partition_seed(job: PartitionJob) -> PartitionJobResult:
+    """Measure one (protocol, seed) partition cost — the parallel job body."""
+    from repro.workloads.network_gen import NetworkParameters
+    from repro.workloads.scenarios import build_scenario
+
+    cfg = job.config
+    scenario = build_scenario(
+        job.protocol,
+        NetworkParameters(node_count=cfg.node_count, seed=job.seed),
+        latency_threshold_s=cfg.latency_threshold_s,
+        max_outbound=cfg.max_outbound,
+    )
+    network = scenario.network.network
+    target_group = _target_group(scenario)
+    graph = network.topology.snapshot()
+    boundary = [
+        (a, b) for a, b in graph.edges if (a in target_group) != (b in target_group)
+    ]
+    attacked = graph.copy()
+    attacked.remove_edges_from(boundary)
+    components = list(nx.connected_components(attacked))
+    achieved = any(set(c) == set(target_group) for c in components) or not nx.is_connected(
+        attacked
+    )
+    largest = max((len(c) for c in components), default=0)
+    return PartitionJobResult(
+        protocol=job.protocol,
+        seed=job.seed,
+        target_group_size=len(target_group),
+        boundary_links=len(boundary),
+        total_links=graph.number_of_edges(),
+        partition_achieved=achieved,
+        largest_component_fraction=largest / max(1, graph.number_of_nodes()),
+    )
 
 
 def run_partition(
@@ -135,53 +208,30 @@ def run_partition(
     *,
     protocols: Sequence[str] = ATTACK_PROTOCOLS,
 ) -> list[PartitionResult]:
-    """Measure how cheaply an adversary can cut a target group off the network."""
+    """Measure how cheaply an adversary can cut a target group off the network.
+
+    Each (protocol, seed) build fans out over the shared seed-grid executor.
+    """
     cfg = config if config is not None else ExperimentConfig()
-    for protocol in protocols:
-        validate_policy_name(protocol)
+
+    def make_job(protocol: str, seed: int) -> PartitionJob:
+        return PartitionJob(protocol=protocol, seed=seed, config=cfg)
+
+    grid = run_seed_grid(protocols, make_job, run_partition_job, cfg)
     results: list[PartitionResult] = []
-    for protocol in protocols:
-        boundary_total = 0
-        links_total = 0
-        group_total = 0
-        achieved_any = False
-        largest_fractions: list[float] = []
-        for seed in cfg.seeds:
-            scenario = build_scenario(
-                protocol,
-                NetworkParameters(node_count=cfg.node_count, seed=seed),
-                latency_threshold_s=cfg.latency_threshold_s,
-                max_outbound=cfg.max_outbound,
-            )
-            network = scenario.network.network
-            target_group = _target_group(scenario)
-            graph = network.topology.snapshot()
-            boundary = [
-                (a, b)
-                for a, b in graph.edges
-                if (a in target_group) != (b in target_group)
-            ]
-            boundary_total += len(boundary)
-            links_total += graph.number_of_edges()
-            group_total += len(target_group)
-            attacked = graph.copy()
-            attacked.remove_edges_from(boundary)
-            components = list(nx.connected_components(attacked))
-            achieved = any(set(c) == set(target_group) for c in components) or not nx.is_connected(
-                attacked
-            )
-            achieved_any = achieved_any or achieved
-            largest = max((len(c) for c in components), default=0)
-            largest_fractions.append(largest / max(1, graph.number_of_nodes()))
-        count = len(cfg.seeds)
+    for protocol, seed_results in grid:
+        count = len(seed_results)
         results.append(
             PartitionResult(
                 protocol=protocol,
-                target_group_size=group_total // count,
-                boundary_links=boundary_total // count,
-                total_links=links_total // count,
-                partition_achieved=achieved_any,
-                largest_component_fraction=sum(largest_fractions) / count,
+                target_group_size=sum(r.target_group_size for r in seed_results) // count,
+                boundary_links=sum(r.boundary_links for r in seed_results) // count,
+                total_links=sum(r.total_links for r in seed_results) // count,
+                partition_achieved=any(r.partition_achieved for r in seed_results),
+                largest_component_fraction=sum(
+                    r.largest_component_fraction for r in seed_results
+                )
+                / count,
             )
         )
     return results
@@ -259,17 +309,70 @@ def build_report(
     return report
 
 
+def _outcome_report(outcome: AttackOutcome) -> ExperimentReport:
+    return build_report(outcome.eclipse, outcome.partition)
+
+
+def summarize(outcome: AttackOutcome) -> dict[str, dict[str, float]]:
+    """Per-protocol scalar summaries for the result envelope."""
+    summaries: dict[str, dict[str, float]] = {}
+    for result in outcome.eclipse:
+        summaries[f"eclipse/{result.protocol}"] = {
+            **asdict(result),
+            "eclipsed_fraction": result.eclipsed_fraction,
+        }
+    for result in outcome.partition:
+        summaries[f"partition/{result.protocol}"] = {
+            **asdict(result),
+            "boundary_fraction": result.boundary_fraction,
+        }
+    return summaries
+
+
+@experiment(
+    "attacks",
+    experiment_id="Ext-3",
+    title="Eclipse and partition attack susceptibility",
+    description=__doc__,
+    protocols=ATTACK_PROTOCOLS,
+    options=(
+        ExperimentOption(
+            flag="--adversary-fraction",
+            dest="adversary_fraction",
+            type=float,
+            help="fraction of the node population the eclipse adversary "
+            "controls (default: 0.15)",
+        ),
+        ExperimentOption(
+            flag="--protocols",
+            dest="protocols",
+            type=str,
+            nargs="+",
+            help="protocols to evaluate (default: bitcoin lbc bcbpt)",
+            convert=tuple,
+            is_protocols=True,
+        ),
+    ),
+    report=_outcome_report,
+    summarize=summarize,
+)
+def run_attacks(
+    config: Optional[ExperimentConfig] = None,
+    adversary_fraction: float = 0.15,
+    protocols: Sequence[str] = ATTACK_PROTOCOLS,
+) -> AttackOutcome:
+    """Run both attack analyses and return the combined outcome."""
+    return AttackOutcome(
+        eclipse=run_eclipse(
+            config, adversary_fraction=adversary_fraction, protocols=protocols
+        ),
+        partition=run_partition(config, protocols=protocols),
+    )
+
+
 def main(argv: Optional[list[str]] = None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    ExperimentConfig.add_cli_arguments(parser)
-    parser.add_argument("--adversary-fraction", type=float, default=0.15)
-    args = parser.parse_args(argv)
-    config = ExperimentConfig.from_cli(args)
-    eclipse = run_eclipse(config, adversary_fraction=args.adversary_fraction)
-    partition = run_partition(config)
-    print(build_report(eclipse, partition).render())
-    return 0
+    """Deprecated CLI shim; forwards to ``repro run attacks``."""
+    return deprecated_main("attacks", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

@@ -22,27 +22,30 @@ submission order, so aggregates are identical for every worker count.
 
 Run from the command line::
 
-    PYTHONPATH=src python -m repro.experiments.churn_resilience \
+    PYTHONPATH=src python -m repro.experiments run churn_resilience \
         --nodes 120 --runs 4 --seeds 3 11 --levels static heavy --workers 0
+
+(``python -m repro.experiments.churn_resilience`` remains as a deprecated
+shim.)
 """
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+from repro.experiments.api import ExperimentOption, deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import run_seed_grid
 from repro.experiments.parallel import (
     ChurnJobResult,
     ChurnResilienceJob,
-    ParallelRunner,
     run_churn_resilience_job,
 )
 from repro.experiments.reporting import ExperimentReport, format_table
 from repro.measurement.measuring_node import MeasuringNode
 from repro.measurement.stats import DelayDistribution
-from repro.workloads.scenarios import ChurnSchedule, validate_policy_name
+from repro.workloads.scenarios import ChurnSchedule
 
 #: Protocols compared by the churn-resilience experiment.
 CHURN_PROTOCOLS = ("bitcoin", "lbc", "bcbpt")
@@ -239,6 +242,41 @@ def run_churn_seed(job: ChurnResilienceJob) -> ChurnJobResult:
 
 
 # ------------------------------------------------------------------- driver
+@experiment(
+    "churn_resilience",
+    experiment_id="Ext-6",
+    title="Propagation delay and cluster quality under live join/leave churn",
+    description=__doc__,
+    protocols=CHURN_PROTOCOLS,
+    options=(
+        ExperimentOption(
+            flag="--protocols",
+            dest="protocols",
+            type=str,
+            nargs="+",
+            help="protocols to compare (default: bitcoin lbc bcbpt)",
+            convert=tuple,
+            is_protocols=True,
+        ),
+        ExperimentOption(
+            flag="--levels",
+            dest="levels",
+            type=str,
+            nargs="+",
+            help="churn levels to sweep (default: static mild heavy)",
+            convert=tuple,
+        ),
+    ),
+    report=lambda results: build_report(results),
+    summarize=lambda results: {
+        key: {**result.summary(), "mean_coverage": result.mean_coverage(),
+              "leave_events": float(result.leave_events),
+              "join_events": float(result.join_events),
+              **result.cluster_drift()}
+        for key, result in results.items()
+    },
+    verdicts={"clustering_survives_churn": lambda results: clustering_survives_churn(results)},
+)
 def run_churn_resilience(
     config: Optional[ExperimentConfig] = None,
     *,
@@ -250,7 +288,7 @@ def run_churn_resilience(
 
     Args:
         config: shared experiment configuration.
-        protocols: policy names to compare (validated up front).
+        protocols: policy names to compare.
         levels: churn-level names, resolved against :data:`CHURN_LEVELS`
             (plus ``schedules`` overrides).
         schedules: extra/overriding ``name -> ChurnSchedule`` entries.
@@ -259,11 +297,16 @@ def run_churn_resilience(
         ``"protocol/level"`` -> pooled :class:`ChurnResilienceResult`.
     """
     cfg = config if config is not None else ExperimentConfig()
-    for protocol in protocols:
-        validate_policy_name(protocol)
     resolved = resolve_levels(levels, schedules)
-    jobs = [
-        ChurnResilienceJob(
+    points = [
+        (protocol, level, schedule)
+        for protocol in protocols
+        for level, schedule in resolved.items()
+    ]
+
+    def make_job(point: tuple[str, str, Optional[ChurnSchedule]], seed: int) -> ChurnResilienceJob:
+        protocol, level, schedule = point
+        return ChurnResilienceJob(
             protocol=protocol,
             level=level,
             schedule=schedule,
@@ -271,35 +314,31 @@ def run_churn_resilience(
             seed=seed,
             config=cfg,
         )
-        for protocol in protocols
-        for level, schedule in resolved.items()
-        for seed in cfg.seeds
-    ]
-    job_results = ParallelRunner.from_config(cfg).map_jobs(run_churn_resilience_job, jobs)
+
+    grid = run_seed_grid(points, make_job, run_churn_resilience_job, cfg)
 
     # Merge in submission order — identical aggregates for every worker count.
     results: dict[str, ChurnResilienceResult] = {}
-    for job, job_result in zip(jobs, job_results):
-        key = f"{job.protocol}/{job.level}"
+    for (protocol, level, _), seed_results in grid:
+        key = f"{protocol}/{level}"
         pooled = results.get(key)
         if pooled is None:
-            pooled = results[key] = ChurnResilienceResult(
-                protocol=job.protocol, level=job.level
-            )
-        seed_delays = DelayDistribution(list(job_result.delay_samples))
-        pooled.delays = pooled.delays.merge(seed_delays)
-        pooled.per_seed[job.seed] = seed_delays
-        pooled.coverages.extend(job_result.coverages)
-        pooled.timed_out_receptions += job_result.timed_out_receptions
-        pooled.failed_runs += job_result.failed_runs
-        pooled.join_events += job_result.join_events
-        pooled.leave_events += job_result.leave_events
-        pooled.repair_sweeps += job_result.repair_sweeps
-        pooled.orphans_reassigned += job_result.orphans_reassigned
-        pooled.representatives_replaced += job_result.representatives_replaced
-        pooled.bridges_created += job_result.bridges_created
-        pooled.cluster_before[job.seed] = job_result.cluster_before
-        pooled.cluster_after[job.seed] = job_result.cluster_after
+            pooled = results[key] = ChurnResilienceResult(protocol=protocol, level=level)
+        for seed, job_result in zip(cfg.seeds, seed_results):
+            seed_delays = DelayDistribution(list(job_result.delay_samples))
+            pooled.delays = pooled.delays.merge(seed_delays)
+            pooled.per_seed[seed] = seed_delays
+            pooled.coverages.extend(job_result.coverages)
+            pooled.timed_out_receptions += job_result.timed_out_receptions
+            pooled.failed_runs += job_result.failed_runs
+            pooled.join_events += job_result.join_events
+            pooled.leave_events += job_result.leave_events
+            pooled.repair_sweeps += job_result.repair_sweeps
+            pooled.orphans_reassigned += job_result.orphans_reassigned
+            pooled.representatives_replaced += job_result.representatives_replaced
+            pooled.bridges_created += job_result.bridges_created
+            pooled.cluster_before[seed] = job_result.cluster_before
+            pooled.cluster_after[seed] = job_result.cluster_after
     return results
 
 
@@ -394,32 +433,8 @@ def clustering_survives_churn(results: dict[str, ChurnResilienceResult]) -> bool
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    ExperimentConfig.add_cli_arguments(parser)
-    parser.add_argument(
-        "--protocols",
-        nargs="+",
-        default=list(CHURN_PROTOCOLS),
-        help=f"protocols to compare (subset of {CHURN_PROTOCOLS})",
-    )
-    parser.add_argument(
-        "--levels",
-        nargs="+",
-        default=["static", "mild", "heavy"],
-        help=f"churn levels to sweep (subset of {tuple(CHURN_LEVELS)})",
-    )
-    args = parser.parse_args(argv)
-    config = ExperimentConfig.from_cli(args)
-    results = run_churn_resilience(
-        config, protocols=tuple(args.protocols), levels=tuple(args.levels)
-    )
-    report = build_report(results)
-    print(report.render())
-    print()
-    verdict = "SURVIVES" if clustering_survives_churn(results) else "DOES NOT SURVIVE"
-    print(f"Clustering advantage under churn (BCBPT < Bitcoin in mean Δt): {verdict}")
-    return 0
+    """Deprecated CLI shim; forwards to ``repro run churn_resilience``."""
+    return deprecated_main("churn_resilience", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

@@ -1,0 +1,302 @@
+"""The unified experiment CLI: ``python -m repro.experiments`` / ``repro``.
+
+One command drives every registered experiment::
+
+    repro list                                  # all experiments
+    repro describe fig3                         # spec, options, verdicts
+    repro run fig3 --nodes 200 --runs 10 --workers 4
+    repro run fig4 --thresholds-ms 30 50 100
+    repro run fig3 --sweep latency_threshold_s=0.02,0.03
+    repro compare fig3                          # diff the two newest runs
+    repro compare fig3/<run-a> fig3/<run-b>     # diff two specific runs
+
+``run`` composes the shared :meth:`ExperimentConfig.add_arguments` flags with
+the experiment's declarative options, executes through the registry dispatch
+(:func:`repro.experiments.api.run_experiment`), prints the report, and
+persists the envelope to the :class:`~repro.experiments.results.ResultStore`
+(``results/`` by default; disable with ``--no-save``).  ``--sweep
+field=v1,v2`` repeats the run across the values of any
+:class:`~repro.experiments.config.ExperimentConfig` field or experiment
+option; several ``--sweep`` flags form a grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+from typing import Any, Optional, Sequence
+
+from repro.experiments.api import (
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.results import ResultStore, diff_results
+
+PROG = "repro"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "run":
+        return _dispatch_run(argv[1:])
+    parser = _top_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "describe":
+        return _cmd_describe(args.name)
+    if args.command == "compare":
+        return _cmd_compare(args.runs, args.results_dir)
+    parser.print_help()
+    return 2
+
+
+def _top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="Run, inspect and compare the paper's experiments.",
+        epilog="Use `%(prog)s run <name> --help` for an experiment's full flag set.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list all registered experiments")
+    describe = sub.add_parser("describe", help="show one experiment's spec")
+    describe.add_argument("name", help="experiment name (see `list`)")
+    # `run` is documented here but parsed by _dispatch_run so that the
+    # experiment's own options appear in `run <name> --help`.
+    run = sub.add_parser("run", help="run an experiment", add_help=False)
+    run.add_argument("name", nargs="?")
+    compare = sub.add_parser("compare", help="diff two stored runs")
+    compare.add_argument(
+        "runs",
+        nargs="+",
+        help="either two run ids (e.g. fig3/20260729T144501-001) or one "
+        "experiment name, meaning its two newest stored runs",
+    )
+    compare.add_argument(
+        "--results-dir", default=None, help="result store root (default: results/)"
+    )
+    return parser
+
+
+# -------------------------------------------------------------------- list
+def _cmd_list() -> int:
+    rows = []
+    for name in experiment_names():
+        spec = get_experiment(name)
+        rows.append([name, spec.experiment_id, spec.title])
+    print(format_table(["name", "id", "title"], rows))
+    return 0
+
+
+def _cmd_describe(name: str) -> int:
+    try:
+        spec = get_experiment(name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(spec.describe())
+    return 0
+
+
+# --------------------------------------------------------------------- run
+def _dispatch_run(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        names = ", ".join(experiment_names())
+        print(f"usage: {PROG} run <name> [options]\n\nexperiments: {names}")
+        return 0 if argv else 2
+    name = argv[0]
+    try:
+        spec = get_experiment(name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    parser = build_run_parser(spec)
+    args = parser.parse_args(argv[1:])
+    return _execute_run(spec, args)
+
+
+def build_run_parser(spec: ExperimentSpec) -> argparse.ArgumentParser:
+    """The full argparse parser for ``run <spec.name>``: shared flags plus
+    the experiment's declarative options."""
+    parser = argparse.ArgumentParser(
+        prog=f"{PROG} run {spec.name}",
+        description=f"{spec.experiment_id}: {spec.title}",
+    )
+    ExperimentConfig.add_arguments(parser)
+    for option in spec.options:
+        kwargs: dict[str, Any] = {
+            "dest": option.dest,
+            "type": option.type,
+            "default": None,
+            "help": option.help,
+        }
+        if option.nargs is not None:
+            kwargs["nargs"] = option.nargs
+        parser.add_argument(option.flag, **kwargs)
+    parser.add_argument(
+        "--sweep",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2",
+        help="repeat the run for each value of a config field or experiment "
+        "option; may be given several times to form a grid",
+    )
+    parser.add_argument(
+        "--no-save", action="store_true", help="do not persist the result envelope"
+    )
+    parser.add_argument(
+        "--results-dir", default=None, help="result store root (default: results/)"
+    )
+    parser.add_argument(
+        "--diff-latest",
+        action="store_true",
+        help="after the run, diff it against the previous stored run",
+    )
+    return parser
+
+
+def _parse_sweep_value(raw: str) -> Any:
+    for parse in (int, float):
+        try:
+            return parse(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def parse_sweep_axes(
+    spec: ExperimentSpec, entries: Sequence[str]
+) -> list[tuple[str, list[Any]]]:
+    """Parse ``--sweep field=v1,v2`` entries into named value axes."""
+    config_fields = set(ExperimentConfig.__dataclass_fields__)
+    option_dests = {option.dest for option in spec.options}
+    axes: list[tuple[str, list[Any]]] = []
+    for entry in entries:
+        if "=" not in entry:
+            raise SystemExit(f"--sweep expects FIELD=V1,V2 — got {entry!r}")
+        field, _, raw_values = entry.partition("=")
+        if field not in config_fields and field not in option_dests:
+            valid = sorted(config_fields | option_dests)
+            raise SystemExit(
+                f"--sweep field {field!r} is neither an ExperimentConfig field "
+                f"nor a {spec.name!r} option; valid: {valid}"
+            )
+        values = [_parse_sweep_value(v) for v in raw_values.split(",") if v != ""]
+        if not values:
+            raise SystemExit(f"--sweep {entry!r} supplies no values")
+        axes.append((field, values))
+    return axes
+
+
+def _execute_run(spec: ExperimentSpec, args: argparse.Namespace) -> int:
+    base_config = ExperimentConfig.from_args(args)
+    base_options = {
+        option.dest: getattr(args, option.dest)
+        for option in spec.options
+        if getattr(args, option.dest) is not None
+    }
+    axes = parse_sweep_axes(spec, args.sweep)
+    # The store is always available for reading (--diff-latest works even
+    # with --no-save); --no-save only skips the write.
+    store = ResultStore(args.results_dir)
+
+    config_fields = set(ExperimentConfig.__dataclass_fields__)
+    option_by_dest = {option.dest: option for option in spec.options}
+    grid = list(itertools.product(*(values for _, values in axes))) if axes else [()]
+    exit_code = 0
+    sweep_rows: list[list[object]] = []
+    for combo in grid:
+        config = base_config
+        options = dict(base_options)
+        point_label = ", ".join(
+            f"{field}={value}" for (field, _), value in zip(axes, combo)
+        )
+        for (field, _), value in zip(axes, combo):
+            if field in config_fields:
+                # A sweep point carries one scalar; sequence-typed config
+                # fields (seeds, fig4_thresholds_s, ...) take it as a
+                # one-element tuple so each point is one valid setting.
+                current = getattr(config, field)
+                if isinstance(current, (tuple, list)) and not isinstance(
+                    value, (tuple, list)
+                ):
+                    value = (value,)
+                config = config.with_overrides(**{field: value})
+            else:
+                option = option_by_dest[field]
+                if option.nargs is not None and not isinstance(value, (tuple, list)):
+                    value = [value]
+                options[field] = value
+        if point_label:
+            print(f"### sweep point: {point_label}")
+        previous = store.latest(spec.name) if args.diff_latest else None
+        result = run_experiment(spec.name, config, options)
+        print(result.render())
+        candidate_label = "(unsaved run)"
+        if not args.no_save:
+            run_dir = store.save(result)
+            candidate_label = str(run_dir)
+            print()
+            print(f"saved: {run_dir}")
+        if args.diff_latest:
+            if previous is None:
+                print("no previous run to diff against")
+            else:
+                diff = diff_results(store.load(previous), result)
+                diff.baseline = previous
+                diff.candidate = candidate_label
+                print(diff.render())
+        verdict_ok = (
+            result.verdicts.get(spec.exit_verdict, True) if spec.exit_verdict else True
+        )
+        if not verdict_ok:
+            exit_code = 1
+        if point_label:
+            sweep_rows.append(
+                [point_label]
+                + [
+                    f"{name}:{'PASS' if value else 'FAIL'}"
+                    for name, value in result.verdicts.items()
+                ]
+            )
+            print()
+    if sweep_rows:
+        width = max(len(row) for row in sweep_rows)
+        headers = ["sweep point"] + [f"verdict {i}" for i in range(1, width)]
+        padded = [row + [""] * (width - len(row)) for row in sweep_rows]
+        print(format_table(headers, padded, title="Sweep summary"))
+    return exit_code
+
+
+# ----------------------------------------------------------------- compare
+def _cmd_compare(runs: list[str], results_dir: Optional[str]) -> int:
+    store = ResultStore(results_dir)
+    if len(runs) == 1:
+        ids = store.run_ids(runs[0])
+        if len(ids) < 2:
+            print(
+                f"need at least two stored runs of {runs[0]!r} to compare "
+                f"(found {len(ids)})",
+                file=sys.stderr,
+            )
+            return 2
+        baseline_id, candidate_id = ids[-2], ids[-1]
+    else:
+        baseline_id, candidate_id = runs[0], runs[1]
+    try:
+        diff = store.diff(baseline_id, candidate_id)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(diff.render())
+    return 0 if diff.identical else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `python -m`
+    raise SystemExit(main())

@@ -91,8 +91,14 @@ class ExperimentConfig:
 
     # ----------------------------------------------------------------- CLI
     @staticmethod
-    def add_cli_arguments(parser: argparse.ArgumentParser) -> None:
-        """Register the standard experiment flags on an argparse parser."""
+    def add_arguments(parser: argparse.ArgumentParser) -> None:
+        """Register the standard experiment flags on an argparse parser.
+
+        This is the single argparse builder shared by every experiment: the
+        unified ``python -m repro.experiments run`` CLI composes these flags
+        with each registered spec's declarative
+        :class:`~repro.experiments.api.ExperimentOption` extras.
+        """
         parser.add_argument("--nodes", type=int, default=None, help="network size")
         parser.add_argument("--runs", type=int, default=None, help="repetitions per measuring node")
         parser.add_argument(
@@ -112,7 +118,7 @@ class ExperimentConfig:
         )
 
     @staticmethod
-    def from_cli(args: argparse.Namespace, base: Optional["ExperimentConfig"] = None) -> "ExperimentConfig":
+    def from_args(args: argparse.Namespace, base: Optional["ExperimentConfig"] = None) -> "ExperimentConfig":
         """Apply parsed CLI flags on top of a base configuration."""
         config = base if base is not None else ExperimentConfig()
         overrides: dict[str, object] = {}
@@ -131,3 +137,7 @@ class ExperimentConfig:
         if overrides:
             config = config.with_overrides(**overrides)
         return config
+
+    #: Backwards-compatible aliases (pre-unified-CLI names).
+    add_cli_arguments = add_arguments
+    from_cli = from_args

@@ -17,19 +17,22 @@ This extension stages that race directly:
 Faster propagation shortens the detection time and shrinks the attacker's
 first-seen share, which is exactly the mechanism by which the paper argues
 BCBPT reduces double-spend risk.
+
+Run via ``python -m repro.experiments run doublespend [--races N --horizon S]``;
+``python -m repro.experiments.doublespend`` remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
-import argparse
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional, Sequence
 
+from repro.experiments.api import ExperimentOption, deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import run_seed_grid
 from repro.experiments.parallel import (
     DoubleSpendJob,
     DoubleSpendJobResult,
-    ParallelRunner,
     run_doublespend_job,
 )
 from repro.experiments.reporting import ExperimentReport, format_table
@@ -38,7 +41,7 @@ from repro.protocol.messages import TxMessage
 from repro.protocol.node import NodeConfig
 from repro.workloads.generators import fund_nodes
 from repro.workloads.network_gen import NetworkParameters
-from repro.workloads.scenarios import build_scenario, validate_policy_name
+from repro.workloads.scenarios import build_scenario
 
 DOUBLESPEND_PROTOCOLS = ("bitcoin", "lbc", "bcbpt")
 
@@ -69,6 +72,38 @@ class DoubleSpendPoint:
             raise ValueError("a double-spend point needs at least one race")
 
 
+@experiment(
+    "doublespend",
+    experiment_id="Ext-4",
+    title="Double-spend race outcomes (first-seen shares and detection)",
+    description=__doc__,
+    protocols=DOUBLESPEND_PROTOCOLS,
+    options=(
+        ExperimentOption(
+            flag="--races",
+            dest="races_per_seed",
+            type=int,
+            help="races per seed (default: 5)",
+        ),
+        ExperimentOption(
+            flag="--horizon",
+            dest="race_horizon_s",
+            type=float,
+            help="race horizon in simulated seconds (default: 2.0)",
+        ),
+        ExperimentOption(
+            flag="--protocols",
+            dest="protocols",
+            type=str,
+            nargs="+",
+            help="protocols to evaluate (default: bitcoin lbc bcbpt)",
+            convert=tuple,
+            is_protocols=True,
+        ),
+    ),
+    report=lambda points: build_report(points),
+    summarize=lambda points: {p.protocol: asdict(p) for p in points},
+)
 def run_doublespend(
     config: Optional[ExperimentConfig] = None,
     *,
@@ -78,34 +113,30 @@ def run_doublespend(
 ) -> list[DoubleSpendPoint]:
     """Stage repeated double-spend races under each protocol.
 
-    (protocol, seed) race batches are independent simulations; they fan out
-    over ``cfg.workers`` processes and merge in submission order, so the
-    outcome is identical for every worker count.
+    (protocol, seed) race batches are independent simulations; the shared
+    seed-grid executor fans them out over ``cfg.workers`` processes and
+    regroups in submission order, so the outcome is identical for every
+    worker count.
     """
     if races_per_seed <= 0:
         raise ValueError("races_per_seed must be positive")
     if race_horizon_s <= 0:
         raise ValueError("race_horizon_s must be positive")
     cfg = config if config is not None else ExperimentConfig()
-    for protocol in protocols:
-        validate_policy_name(protocol)
-    jobs = [
-        DoubleSpendJob(
+
+    def make_job(protocol: str, seed: int) -> DoubleSpendJob:
+        return DoubleSpendJob(
             protocol=protocol,
             seed=seed,
             races_per_seed=races_per_seed,
             race_horizon_s=race_horizon_s,
             config=cfg,
         )
-        for protocol in protocols
-        for seed in cfg.seeds
-    ]
-    job_results = ParallelRunner.from_config(cfg).map_jobs(run_doublespend_job, jobs)
+
+    grid = run_seed_grid(protocols, make_job, run_doublespend_job, cfg)
 
     points: list[DoubleSpendPoint] = []
-    seeds_per_protocol = len(cfg.seeds)
-    for index, protocol in enumerate(protocols):
-        seed_results = job_results[index * seeds_per_protocol : (index + 1) * seeds_per_protocol]
+    for protocol, seed_results in grid:
         shares = [share for r in seed_results for share in r.attacker_shares]
         detection_times = [t for r in seed_results for t in r.detection_times_s]
         detections = sum(r.detections for r in seed_results)
@@ -228,16 +259,8 @@ def build_report(points: list[DoubleSpendPoint]) -> ExperimentReport:
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    ExperimentConfig.add_cli_arguments(parser)
-    parser.add_argument("--races", type=int, default=5, help="races per seed")
-    parser.add_argument("--horizon", type=float, default=2.0, help="race horizon (simulated s)")
-    args = parser.parse_args(argv)
-    config = ExperimentConfig.from_cli(args)
-    points = run_doublespend(config, races_per_seed=args.races, race_horizon_s=args.horizon)
-    print(build_report(points).render())
-    return 0
+    """Deprecated CLI shim; forwards to ``repro run doublespend``."""
+    return deprecated_main("doublespend", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

@@ -5,27 +5,22 @@ the vanilla Bitcoin protocol and the geography-based LBC protocol, and keeps
 the delay variance low regardless of the number of connected nodes, while
 Bitcoin's variance grows with the connection count.
 
-Run from the command line (``python -m repro.experiments.fig3`` or the
-``repro-fig3`` console script) or through ``benchmarks/test_bench_fig3.py``.
+Run via the unified CLI (``python -m repro.experiments run fig3`` or the
+``repro run fig3`` console script) or through ``benchmarks/test_bench_fig3.py``.
+``python -m repro.experiments.fig3`` remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
-import argparse
 from typing import Optional
 
+from repro.experiments.api import deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import ExperimentReport, format_delay_summaries, format_table
 from repro.experiments.runner import PropagationResult, run_protocol_comparison
 
 #: The protocols compared in Fig. 3, in the order the paper lists them.
 FIG3_PROTOCOLS = ("bitcoin", "lbc", "bcbpt")
-
-
-def run_fig3(config: Optional[ExperimentConfig] = None) -> dict[str, PropagationResult]:
-    """Execute the Fig. 3 comparison and return per-protocol results."""
-    cfg = config if config is not None else ExperimentConfig()
-    return run_protocol_comparison(FIG3_PROTOCOLS, cfg)
 
 
 def build_report(results: dict[str, PropagationResult]) -> ExperimentReport:
@@ -83,19 +78,30 @@ def expected_ordering_holds(results: dict[str, PropagationResult]) -> bool:
     return mean_ok and variance_ok
 
 
+def summarize(results: dict[str, PropagationResult]) -> dict[str, dict[str, float]]:
+    """Per-protocol scalar summaries for the result envelope."""
+    return {name: result.summary() for name, result in results.items()}
+
+
+@experiment(
+    "fig3",
+    experiment_id="Fig. 3",
+    title="Δt distribution, Bitcoin vs LBC vs BCBPT (d_t = 25 ms)",
+    description=__doc__,
+    protocols=FIG3_PROTOCOLS,
+    report=build_report,
+    summarize=summarize,
+    verdicts={"paper_ordering": expected_ordering_holds},
+)
+def run_fig3(config: Optional[ExperimentConfig] = None) -> dict[str, PropagationResult]:
+    """Execute the Fig. 3 comparison and return per-protocol results."""
+    cfg = config if config is not None else ExperimentConfig()
+    return run_protocol_comparison(FIG3_PROTOCOLS, cfg)
+
+
 def main(argv: Optional[list[str]] = None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    ExperimentConfig.add_cli_arguments(parser)
-    args = parser.parse_args(argv)
-    config = ExperimentConfig.from_cli(args)
-    results = run_fig3(config)
-    report = build_report(results)
-    print(report.render())
-    print()
-    ordering = "HOLDS" if expected_ordering_holds(results) else "DOES NOT HOLD"
-    print(f"Paper ordering (BCBPT < LBC < Bitcoin in mean and variance): {ordering}")
-    return 0
+    """Deprecated CLI shim; forwards to ``repro run fig3``."""
+    return deprecated_main("fig3", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

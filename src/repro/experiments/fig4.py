@@ -5,13 +5,16 @@
 coverage physical topology which is offered [by] d_t."  This driver sweeps the
 same three thresholds, reports the Δt summary per threshold plus the cluster
 structure that explains the trend, and checks the monotonicity criterion.
+
+Run via ``python -m repro.experiments run fig4 [--thresholds-ms 30 50 100]``;
+``python -m repro.experiments.fig4`` remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
-import argparse
 from typing import Optional, Sequence
 
+from repro.experiments.api import ExperimentOption, deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import ExperimentReport, format_delay_summaries, format_table
 from repro.experiments.runner import PropagationResult, run_protocol_comparison
@@ -20,13 +23,6 @@ from repro.experiments.runner import PropagationResult, run_protocol_comparison
 def threshold_labels(thresholds_s: Sequence[float]) -> list[str]:
     """Protocol labels of the form ``"bcbpt@30ms"`` for a threshold sweep."""
     return [f"bcbpt@{round(t * 1000):g}ms" for t in thresholds_s]
-
-
-def run_fig4(config: Optional[ExperimentConfig] = None) -> dict[str, PropagationResult]:
-    """Execute the Fig. 4 threshold sweep and return per-threshold results."""
-    cfg = config if config is not None else ExperimentConfig()
-    labels = threshold_labels(cfg.fig4_thresholds_s)
-    return run_protocol_comparison(labels, cfg)
 
 
 def build_report(results: dict[str, PropagationResult]) -> ExperimentReport:
@@ -76,30 +72,42 @@ def _threshold_of(label: str) -> float:
     return float(label.split("@", 1)[1][:-2])
 
 
+def summarize(results: dict[str, PropagationResult]) -> dict[str, dict[str, float]]:
+    """Per-threshold scalar summaries for the result envelope."""
+    return {name: result.summary() for name, result in results.items()}
+
+
+@experiment(
+    "fig4",
+    experiment_id="Fig. 4",
+    title="Δt distribution for BCBPT at d_t = 30, 50, 100 ms",
+    description=__doc__,
+    protocols=("bcbpt",),
+    options=(
+        ExperimentOption(
+            flag="--thresholds-ms",
+            dest="thresholds_ms",
+            type=float,
+            nargs="+",
+            help="thresholds to sweep, in milliseconds (default: 30 50 100)",
+            config_field="fig4_thresholds_s",
+            convert=lambda values: tuple(t / 1000.0 for t in values),
+        ),
+    ),
+    report=build_report,
+    summarize=summarize,
+    verdicts={"variance_monotone": variance_is_monotone},
+)
+def run_fig4(config: Optional[ExperimentConfig] = None) -> dict[str, PropagationResult]:
+    """Execute the Fig. 4 threshold sweep and return per-threshold results."""
+    cfg = config if config is not None else ExperimentConfig()
+    labels = threshold_labels(cfg.fig4_thresholds_s)
+    return run_protocol_comparison(labels, cfg)
+
+
 def main(argv: Optional[list[str]] = None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    ExperimentConfig.add_cli_arguments(parser)
-    parser.add_argument(
-        "--thresholds-ms",
-        type=float,
-        nargs="+",
-        default=None,
-        help="thresholds to sweep, in milliseconds (default: 30 50 100)",
-    )
-    args = parser.parse_args(argv)
-    config = ExperimentConfig.from_cli(args)
-    if args.thresholds_ms is not None:
-        config = config.with_overrides(
-            fig4_thresholds_s=tuple(t / 1000.0 for t in args.thresholds_ms)
-        )
-    results = run_fig4(config)
-    report = build_report(results)
-    print(report.render())
-    print()
-    trend = "HOLDS" if variance_is_monotone(results) else "DOES NOT HOLD"
-    print(f"Paper trend (variance non-decreasing in d_t): {trend}")
-    return 0
+    """Deprecated CLI shim; forwards to ``repro run fig4``."""
+    return deprecated_main("fig4", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

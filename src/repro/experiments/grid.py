@@ -1,0 +1,67 @@
+"""The shared sweep/grid executor.
+
+Every experiment in this repository is a *grid*: a list of sweep points
+(protocol labels, thresholds, ablation variants, churn levels, ...) crossed
+with the configured master seeds, where each (point, seed) cell is one
+independent simulation.  :func:`run_seed_grid` is the single place that
+cross-product is built, fanned out and regrouped:
+
+1. jobs are constructed **point-major, seed-minor** — exactly the order the
+   pre-grid serial loops used;
+2. they fan out over the existing
+   :class:`~repro.experiments.parallel.ParallelRunner`, which returns results
+   in submission order regardless of completion order;
+3. the flat result list is regrouped into one ``(point, seed_results)`` pair
+   per sweep point, with seed results in seed order.
+
+Because both the job order and the regrouping are deterministic, any merge a
+driver performs over the grouped results is identical for every worker count —
+the same invariance contract the hand-written drivers upheld, now provided in
+one place.  Every experiment registered through
+:mod:`repro.experiments.api` gets ``--workers`` fan-out for free by building
+on this executor.
+
+Job specs must be picklable (frozen dataclasses of plain values) and
+``job_fn`` must be a module-level callable — the same constraints
+:class:`~repro.experiments.parallel.ParallelRunner` imposes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import ParallelRunner
+
+PointT = TypeVar("PointT")
+JobT = TypeVar("JobT")
+ResultT = TypeVar("ResultT")
+
+
+def run_seed_grid(
+    points: Sequence[PointT],
+    make_job: Callable[[PointT, int], JobT],
+    job_fn: Callable[[JobT], ResultT],
+    config: ExperimentConfig,
+) -> list[tuple[PointT, list[ResultT]]]:
+    """Run ``job_fn`` over the (point, seed) grid and regroup per point.
+
+    Args:
+        points: the sweep axis (labels, thresholds, variants, ...).
+        make_job: builds the picklable job spec for one (point, seed) cell.
+        job_fn: module-level job body, executed possibly in a worker process.
+        config: supplies the seeds and the worker count.
+
+    Returns:
+        One ``(point, seed_results)`` pair per sweep point, in sweep order,
+        with ``seed_results`` in ``config.seeds`` order — the same sequence a
+        serial ``for point: for seed:`` loop would produce.
+    """
+    points = list(points)
+    jobs = [make_job(point, seed) for point in points for seed in config.seeds]
+    results = ParallelRunner.from_config(config).map_jobs(job_fn, jobs)
+    per_point = len(config.seeds)
+    return [
+        (point, results[index * per_point : (index + 1) * per_point])
+        for index, point in enumerate(points)
+    ]

@@ -7,19 +7,22 @@ performs that evaluation: for each protocol it counts the ping/pong exchanges,
 cluster-control messages (JOIN, JOIN_ACCEPT, CLUSTER_MEMBERS) and bytes spent
 building the topology, normalised per node, and relates them to the
 propagation-delay improvement the protocol buys.
+
+Run via ``python -m repro.experiments run overhead``;
+``python -m repro.experiments.overhead`` remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
-import argparse
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional, Sequence
 
+from repro.experiments.api import ExperimentOption, deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import run_seed_grid
+from repro.experiments.parallel import OverheadJob, OverheadJobResult, run_overhead_job
 from repro.experiments.reporting import ExperimentReport, format_table
-from repro.experiments.runner import PropagationExperiment
-from repro.workloads.network_gen import NetworkParameters
-from repro.workloads.scenarios import build_scenario, validate_policy_name
+from repro.measurement.stats import DelayDistribution
 
 OVERHEAD_PROTOCOLS = ("bitcoin", "lbc", "bcbpt")
 
@@ -41,67 +44,43 @@ class OverheadPoint:
     delay_variance_s2: float
 
 
-def run_overhead(
-    config: Optional[ExperimentConfig] = None,
-    protocols: Sequence[str] = OVERHEAD_PROTOCOLS,
-) -> list[OverheadPoint]:
-    """Measure topology-construction overhead and delay for each protocol."""
-    cfg = config if config is not None else ExperimentConfig()
-    for protocol in protocols:
-        validate_policy_name(protocol)
-    points: list[OverheadPoint] = []
-    for protocol in protocols:
-        ping_counts: list[float] = []
-        control_counts: list[float] = []
-        control_bytes: list[float] = []
-        handshake_counts: list[float] = []
-        total_bytes: list[float] = []
-        delays = None
-        for seed in cfg.seeds:
-            scenario = build_scenario(
-                protocol,
-                NetworkParameters(node_count=cfg.node_count, seed=seed),
-                latency_threshold_s=cfg.latency_threshold_s,
-                max_outbound=cfg.max_outbound,
-            )
-            network = scenario.network.network
-            nodes = max(1, cfg.node_count)
-            # Counters at this point reflect only the topology build (no
-            # measurement traffic has been generated yet).
-            ping_counts.append(
-                (network.messages_sent.get("ping", 0) + network.messages_sent.get("pong", 0))
-                / nodes
-            )
-            control_counts.append(
-                sum(network.messages_sent.get(cmd, 0) for cmd in CONTROL_COMMANDS) / nodes
-            )
-            control_bytes.append(
-                sum(network.bytes_sent.get(cmd, 0) for cmd in CONTROL_COMMANDS) / nodes
-            )
-            handshake_counts.append(
-                (network.messages_sent.get("version", 0) + network.messages_sent.get("verack", 0))
-                / nodes
-            )
-            total_bytes.append(network.total_bytes() / nodes)
-            experiment = PropagationExperiment(scenario, cfg)
-            result = experiment.run()
-            delays = result.delays if delays is None else delays.merge(result.delays)
-        assert delays is not None
-        stats = delays.summary()
-        count = len(cfg.seeds)
-        points.append(
-            OverheadPoint(
-                protocol=protocol,
-                ping_messages_per_node=sum(ping_counts) / count,
-                control_messages_per_node=sum(control_counts) / count,
-                control_bytes_per_node=sum(control_bytes) / count,
-                handshake_messages_per_node=sum(handshake_counts) / count,
-                total_build_bytes_per_node=sum(total_bytes) / count,
-                mean_delay_s=stats["mean_s"],
-                delay_variance_s2=stats["variance_s2"],
-            )
-        )
-    return points
+def run_overhead_seed(job: OverheadJob) -> OverheadJobResult:
+    """Measure one (protocol, seed) build's overhead — the parallel job body."""
+    from repro.experiments.runner import PropagationExperiment
+    from repro.workloads.network_gen import NetworkParameters
+    from repro.workloads.scenarios import build_scenario
+
+    cfg = job.config
+    scenario = build_scenario(
+        job.protocol,
+        NetworkParameters(node_count=cfg.node_count, seed=job.seed),
+        latency_threshold_s=cfg.latency_threshold_s,
+        max_outbound=cfg.max_outbound,
+    )
+    network = scenario.network.network
+    nodes = max(1, cfg.node_count)
+    # Counters at this point reflect only the topology build (no measurement
+    # traffic has been generated yet).
+    ping = (
+        network.messages_sent.get("ping", 0) + network.messages_sent.get("pong", 0)
+    ) / nodes
+    control = sum(network.messages_sent.get(cmd, 0) for cmd in CONTROL_COMMANDS) / nodes
+    control_bytes = sum(network.bytes_sent.get(cmd, 0) for cmd in CONTROL_COMMANDS) / nodes
+    handshake = (
+        network.messages_sent.get("version", 0) + network.messages_sent.get("verack", 0)
+    ) / nodes
+    total_bytes = network.total_bytes() / nodes
+    result = PropagationExperiment(scenario, cfg).run()
+    return OverheadJobResult(
+        protocol=job.protocol,
+        seed=job.seed,
+        ping_messages_per_node=ping,
+        control_messages_per_node=control,
+        control_bytes_per_node=control_bytes,
+        handshake_messages_per_node=handshake,
+        total_build_bytes_per_node=total_bytes,
+        delay_samples=tuple(result.delays.samples),
+    )
 
 
 def build_report(points: list[OverheadPoint]) -> ExperimentReport:
@@ -143,14 +122,78 @@ def build_report(points: list[OverheadPoint]) -> ExperimentReport:
     return report
 
 
+def summarize(points: list[OverheadPoint]) -> dict[str, dict[str, float]]:
+    """Per-protocol scalar summaries for the result envelope."""
+    return {point.protocol: asdict(point) for point in points}
+
+
+@experiment(
+    "overhead",
+    experiment_id="Ext-2",
+    title="Topology-construction overhead vs propagation-delay benefit",
+    description=__doc__,
+    protocols=OVERHEAD_PROTOCOLS,
+    options=(
+        ExperimentOption(
+            flag="--protocols",
+            dest="protocols",
+            type=str,
+            nargs="+",
+            help="protocols to evaluate (default: bitcoin lbc bcbpt)",
+            convert=tuple,
+            is_protocols=True,
+        ),
+    ),
+    report=build_report,
+    summarize=summarize,
+)
+def run_overhead(
+    config: Optional[ExperimentConfig] = None,
+    protocols: Sequence[str] = OVERHEAD_PROTOCOLS,
+) -> list[OverheadPoint]:
+    """Measure topology-construction overhead and delay for each protocol.
+
+    (protocol, seed) builds are independent simulations; the shared seed-grid
+    executor fans them out over ``cfg.workers`` processes and regroups in
+    submission order, so results are identical for every worker count.
+    """
+    cfg = config if config is not None else ExperimentConfig()
+
+    def make_job(protocol: str, seed: int) -> OverheadJob:
+        return OverheadJob(protocol=protocol, seed=seed, config=cfg)
+
+    grid = run_seed_grid(protocols, make_job, run_overhead_job, cfg)
+
+    points: list[OverheadPoint] = []
+    for protocol, seed_results in grid:
+        delays = DelayDistribution()
+        for seed_result in seed_results:
+            delays.extend(seed_result.delay_samples)
+        stats = delays.summary()
+        count = len(seed_results)
+        points.append(
+            OverheadPoint(
+                protocol=protocol,
+                ping_messages_per_node=sum(r.ping_messages_per_node for r in seed_results) / count,
+                control_messages_per_node=sum(r.control_messages_per_node for r in seed_results)
+                / count,
+                control_bytes_per_node=sum(r.control_bytes_per_node for r in seed_results) / count,
+                handshake_messages_per_node=sum(
+                    r.handshake_messages_per_node for r in seed_results
+                )
+                / count,
+                total_build_bytes_per_node=sum(r.total_build_bytes_per_node for r in seed_results)
+                / count,
+                mean_delay_s=stats["mean_s"],
+                delay_variance_s2=stats["variance_s2"],
+            )
+        )
+    return points
+
+
 def main(argv: Optional[list[str]] = None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    ExperimentConfig.add_cli_arguments(parser)
-    args = parser.parse_args(argv)
-    config = ExperimentConfig.from_cli(args)
-    print(build_report(run_overhead(config)).render())
-    return 0
+    """Deprecated CLI shim; forwards to ``repro run overhead``."""
+    return deprecated_main("overhead", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

@@ -306,6 +306,92 @@ def run_churn_resilience_job(job: ChurnResilienceJob) -> ChurnJobResult:
 
 
 @dataclass(frozen=True)
+class OverheadJob:
+    """One (protocol, seed) topology-build + campaign overhead measurement."""
+
+    protocol: str
+    seed: int
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class OverheadJobResult:
+    """Per-(protocol, seed) overhead counters merged by the overhead driver."""
+
+    protocol: str
+    seed: int
+    ping_messages_per_node: float
+    control_messages_per_node: float
+    control_bytes_per_node: float
+    handshake_messages_per_node: float
+    total_build_bytes_per_node: float
+    delay_samples: tuple[float, ...]
+
+
+def run_overhead_job(job: OverheadJob) -> OverheadJobResult:
+    """Measure one seed's build overhead and delays — process-pool entry point."""
+    from repro.experiments.overhead import run_overhead_seed
+
+    return run_overhead_seed(job)
+
+
+@dataclass(frozen=True)
+class EclipseJob:
+    """One (protocol, seed) eclipse-exposure measurement."""
+
+    protocol: str
+    seed: int
+    adversary_fraction: float
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class EclipseJobResult:
+    """Per-(protocol, seed) eclipse counters merged by the attacks driver."""
+
+    protocol: str
+    seed: int
+    victim_connection_count: int
+    adversarial_connection_count: int
+
+
+def run_eclipse_job(job: EclipseJob) -> EclipseJobResult:
+    """Measure one seed's eclipse exposure — process-pool entry point."""
+    from repro.experiments.attacks import run_eclipse_seed
+
+    return run_eclipse_seed(job)
+
+
+@dataclass(frozen=True)
+class PartitionJob:
+    """One (protocol, seed) partition-cost measurement."""
+
+    protocol: str
+    seed: int
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class PartitionJobResult:
+    """Per-(protocol, seed) partition counters merged by the attacks driver."""
+
+    protocol: str
+    seed: int
+    target_group_size: int
+    boundary_links: int
+    total_links: int
+    partition_achieved: bool
+    largest_component_fraction: float
+
+
+def run_partition_job(job: PartitionJob) -> PartitionJobResult:
+    """Measure one seed's partition cost — process-pool entry point."""
+    from repro.experiments.attacks import run_partition_seed
+
+    return run_partition_seed(job)
+
+
+@dataclass(frozen=True)
 class AblationJob:
     """One (variant, seed) BCBPT ablation measurement."""
 

@@ -1,0 +1,357 @@
+"""The unified experiment result envelope and its persistent store.
+
+Every experiment executed through :func:`repro.experiments.api.run_experiment`
+produces one :class:`ExperimentResult`: a JSON-serialisable envelope carrying
+the full configuration provenance (config, options, seeds), the per-label
+summary statistics, the rendered report sections, and the verdict booleans the
+old drivers printed as prose.  The envelope round-trips through JSON, so a run
+written today can be reloaded and compared against a run written next month.
+
+:class:`ResultStore` persists envelopes under timestamped run directories::
+
+    results/
+      fig3/
+        20260729T144501-001/
+          result.json     # the ExperimentResult envelope
+          report.txt      # the rendered plain-text report
+        20260729T151210-002/
+          ...
+
+Run ids are ``"<experiment>/<directory>"`` (e.g. ``"fig3/20260729T144501-001"``)
+and sort chronologically.  :meth:`ResultStore.diff` compares two stored runs:
+config drift, per-label metric deltas, and verdict flips.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Sequence, Union
+
+#: Envelope schema version, bumped on breaking layout changes.
+RESULT_SCHEMA_VERSION = 1
+
+_RUN_DIR_RE = re.compile(r"^\d{8}T\d{6}-\d{3}$")
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively convert a value into JSON-serialisable plain data.
+
+    Dataclasses become dicts, tuples/sets become lists, non-string mapping
+    keys are stringified, and NaN/inf floats are preserved (Python's ``json``
+    round-trips them).  Objects with no obvious plain form are rendered via
+    ``repr`` — provenance beats a serialisation error.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: json_safe(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, Mapping):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [json_safe(item) for item in items]
+    return repr(value)
+
+
+@dataclass
+class ExperimentResult:
+    """The JSON-serialisable outcome of one experiment run.
+
+    Attributes:
+        experiment: registry name (``"fig3"``, ``"churn_resilience"``, ...).
+        experiment_id: the DESIGN.md index id (``"Fig. 3"``, ``"Ext-6"``).
+        title: one-line human description of the experiment.
+        created_at: POSIX timestamp of the run.
+        config: :class:`~repro.experiments.config.ExperimentConfig` provenance
+            as a plain dict (includes the seeds).
+        options: experiment-specific options the run was invoked with.
+        seeds: the master seeds the aggregates pooled over.
+        summaries: per-label scalar summaries (label -> metric -> value); the
+            machine-readable core used by :meth:`diff`.
+        verdicts: named boolean reproduction criteria (e.g. the Fig. 3
+            ordering check).
+        sections: the rendered report as (heading, body) pairs.
+        extras: any additional JSON-safe data an experiment wants persisted.
+    """
+
+    experiment: str
+    experiment_id: str
+    title: str
+    created_at: float
+    config: dict[str, Any]
+    options: dict[str, Any] = field(default_factory=dict)
+    seeds: list[int] = field(default_factory=list)
+    summaries: dict[str, dict[str, Any]] = field(default_factory=dict)
+    verdicts: dict[str, bool] = field(default_factory=dict)
+    sections: list[tuple[str, str]] = field(default_factory=list)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Plain-text rendering (mirrors ``ExperimentReport.render``)."""
+        lines = [f"=== {self.experiment_id}: {self.title} ==="]
+        for heading, body in self.sections:
+            lines.append("")
+            lines.append(f"--- {heading} ---")
+            lines.append(body)
+        if self.verdicts:
+            lines.append("")
+            lines.append("--- Verdicts ---")
+            for name, value in self.verdicts.items():
+                lines.append(f"{name}: {'PASS' if value else 'FAIL'}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The envelope as plain JSON-safe data."""
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "created_at": self.created_at,
+            "config": json_safe(self.config),
+            "options": json_safe(self.options),
+            "seeds": list(self.seeds),
+            "summaries": json_safe(self.summaries),
+            "verdicts": dict(self.verdicts),
+            "sections": [[heading, body] for heading, body in self.sections],
+            "extras": json_safe(self.extras),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Serialise the envelope to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild an envelope from :meth:`to_dict` output."""
+        version = data.get("schema_version", RESULT_SCHEMA_VERSION)
+        if version > RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"result schema v{version} is newer than supported v{RESULT_SCHEMA_VERSION}"
+            )
+        return cls(
+            experiment=data["experiment"],
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            created_at=data["created_at"],
+            config=dict(data.get("config", {})),
+            options=dict(data.get("options", {})),
+            seeds=[int(seed) for seed in data.get("seeds", [])],
+            summaries={k: dict(v) for k, v in data.get("summaries", {}).items()},
+            verdicts={k: bool(v) for k, v in data.get("verdicts", {}).items()},
+            sections=[(heading, body) for heading, body in data.get("sections", [])],
+            extras=dict(data.get("extras", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Deserialise an envelope from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def diff(self, other: "ExperimentResult") -> "ResultDiff":
+        """Compare this run (baseline) against ``other`` (candidate)."""
+        return diff_results(self, other)
+
+
+@dataclass
+class ResultDiff:
+    """A structured comparison of two experiment runs."""
+
+    baseline: str
+    candidate: str
+    config_changes: dict[str, tuple[Any, Any]] = field(default_factory=dict)
+    metric_deltas: dict[str, dict[str, tuple[Any, Any]]] = field(default_factory=dict)
+    labels_only_in_baseline: list[str] = field(default_factory=list)
+    labels_only_in_candidate: list[str] = field(default_factory=list)
+    verdict_changes: dict[str, tuple[Optional[bool], Optional[bool]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def identical(self) -> bool:
+        """Whether the two runs agree on config, metrics and verdicts."""
+        return not (
+            self.config_changes
+            or self.metric_deltas
+            or self.labels_only_in_baseline
+            or self.labels_only_in_candidate
+            or self.verdict_changes
+        )
+
+    def render(self) -> str:
+        """Human-readable diff report."""
+        lines = [f"diff: {self.baseline} -> {self.candidate}"]
+        if self.identical:
+            lines.append("  (identical: config, summaries and verdicts all match)")
+            return "\n".join(lines)
+        for key, (old, new) in sorted(self.config_changes.items()):
+            lines.append(f"  config {key}: {old!r} -> {new!r}")
+        for label in self.labels_only_in_baseline:
+            lines.append(f"  label only in baseline: {label}")
+        for label in self.labels_only_in_candidate:
+            lines.append(f"  label only in candidate: {label}")
+        for label, metrics in sorted(self.metric_deltas.items()):
+            for metric, (old, new) in sorted(metrics.items()):
+                delta = ""
+                if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+                    if old and not (math.isnan(old) or math.isnan(new)):
+                        delta = f" ({(new - old) / abs(old):+.1%})"
+                lines.append(f"  {label}.{metric}: {_fmt(old)} -> {_fmt(new)}{delta}")
+        for name, (old, new) in sorted(self.verdict_changes.items()):
+            lines.append(f"  verdict {name}: {old} -> {new}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return repr(value)
+
+
+def _values_differ(old: Any, new: Any) -> bool:
+    if isinstance(old, float) and isinstance(new, float):
+        if math.isnan(old) and math.isnan(new):
+            return False
+    return old != new
+
+
+def diff_results(baseline: ExperimentResult, candidate: ExperimentResult) -> ResultDiff:
+    """Field-by-field comparison of two runs of the same experiment."""
+    if baseline.experiment != candidate.experiment:
+        raise ValueError(
+            f"cannot diff runs of different experiments: "
+            f"{baseline.experiment!r} vs {candidate.experiment!r}"
+        )
+    diff = ResultDiff(
+        baseline=f"{baseline.experiment}@{baseline.created_at:.0f}",
+        candidate=f"{candidate.experiment}@{candidate.created_at:.0f}",
+    )
+    base_config = json_safe(baseline.config)
+    cand_config = json_safe(candidate.config)
+    for key in sorted(set(base_config) | set(cand_config)):
+        old, new = base_config.get(key), cand_config.get(key)
+        if _values_differ(old, new):
+            diff.config_changes[key] = (old, new)
+    base_sum = json_safe(baseline.summaries)
+    cand_sum = json_safe(candidate.summaries)
+    diff.labels_only_in_baseline = sorted(set(base_sum) - set(cand_sum))
+    diff.labels_only_in_candidate = sorted(set(cand_sum) - set(base_sum))
+    for label in sorted(set(base_sum) & set(cand_sum)):
+        deltas: dict[str, tuple[Any, Any]] = {}
+        old_metrics, new_metrics = base_sum[label], cand_sum[label]
+        for metric in sorted(set(old_metrics) | set(new_metrics)):
+            old, new = old_metrics.get(metric), new_metrics.get(metric)
+            if _values_differ(old, new):
+                deltas[metric] = (old, new)
+        if deltas:
+            diff.metric_deltas[label] = deltas
+    for name in sorted(set(baseline.verdicts) | set(candidate.verdicts)):
+        old = baseline.verdicts.get(name)
+        new = candidate.verdicts.get(name)
+        if old != new:
+            diff.verdict_changes[name] = (old, new)
+    return diff
+
+
+class ResultStore:
+    """Writes and reads :class:`ExperimentResult` envelopes on disk.
+
+    Args:
+        root: directory holding one subdirectory per experiment name
+            (defaults to ``results/`` under the current working directory, or
+            ``$REPRO_RESULTS_DIR`` when set).
+    """
+
+    RESULT_FILE = "result.json"
+    REPORT_FILE = "report.txt"
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_RESULTS_DIR", "results")
+        self.root = Path(root)
+
+    # ----------------------------------------------------------------- write
+    def save(self, result: ExperimentResult) -> Path:
+        """Persist one run; returns the created run directory."""
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.localtime(result.created_at))
+        experiment_dir = self.root / result.experiment
+        experiment_dir.mkdir(parents=True, exist_ok=True)
+        for sequence in range(1, 1000):
+            run_dir = experiment_dir / f"{stamp}-{sequence:03d}"
+            if not run_dir.exists():
+                break
+        else:  # pragma: no cover - 999 runs in one second
+            raise RuntimeError(f"no free run directory under {experiment_dir}")
+        run_dir.mkdir()
+        (run_dir / self.RESULT_FILE).write_text(result.to_json() + "\n")
+        (run_dir / self.REPORT_FILE).write_text(result.render() + "\n")
+        return run_dir
+
+    # ------------------------------------------------------------------ read
+    def run_ids(self, experiment: Optional[str] = None) -> list[str]:
+        """All stored run ids (``"<experiment>/<dir>"``), oldest first."""
+        if not self.root.is_dir():
+            return []
+        names = [experiment] if experiment else sorted(
+            p.name for p in self.root.iterdir() if p.is_dir()
+        )
+        ids: list[str] = []
+        for name in names:
+            experiment_dir = self.root / name
+            if not experiment_dir.is_dir():
+                continue
+            ids.extend(
+                f"{name}/{p.name}"
+                for p in sorted(experiment_dir.iterdir())
+                if p.is_dir() and _RUN_DIR_RE.match(p.name)
+            )
+        return ids
+
+    def _resolve(self, run_id: Union[str, Path]) -> Path:
+        raw = Path(run_id)
+        # A relative value may be a run id ("fig3/<stamp>-001", resolved
+        # under the store root) or an actual directory path as returned by
+        # :meth:`save` (e.g. "results/fig3/<stamp>-001"); try it as given
+        # before prefixing the root so the latter is not double-prefixed.
+        candidates = [raw] if raw.is_absolute() else [raw, self.root / raw]
+        tried = []
+        for path in candidates:
+            if path.is_file():
+                path = path.parent
+            result_file = path / self.RESULT_FILE
+            if result_file.is_file():
+                return result_file
+            tried.append(path)
+        raise FileNotFoundError(f"no stored result at {run_id!r} (looked in {tried})")
+
+    def load(self, run_id: Union[str, Path]) -> ExperimentResult:
+        """Load one stored run by id or path."""
+        return ExperimentResult.from_json(self._resolve(run_id).read_text())
+
+    def latest(self, experiment: str, *, before: Optional[str] = None) -> Optional[str]:
+        """The newest stored run id for an experiment (optionally before
+        another run id), or None when nothing is stored."""
+        ids = self.run_ids(experiment)
+        if before is not None:
+            ids = [run_id for run_id in ids if run_id < before]
+        return ids[-1] if ids else None
+
+    def diff(
+        self, baseline_id: Union[str, Path], candidate_id: Union[str, Path]
+    ) -> ResultDiff:
+        """Diff two stored runs."""
+        baseline = self.load(baseline_id)
+        candidate = self.load(candidate_id)
+        diff = diff_results(baseline, candidate)
+        diff.baseline = str(baseline_id)
+        diff.candidate = str(candidate_id)
+        return diff

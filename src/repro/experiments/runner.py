@@ -11,8 +11,9 @@ one built :class:`~repro.workloads.scenarios.Scenario`:
 :func:`run_protocol_comparison` repeats that over several protocols and seeds
 on *identically parameterised* networks — the controlled comparison behind
 Fig. 3 — and returns per-protocol aggregates.  Because every (protocol, seed)
-job is an independent simulation, the comparison fans jobs out over a
-:class:`~repro.experiments.parallel.ParallelRunner` when
+job is an independent simulation, the comparison fans jobs out over the shared
+seed-grid executor (:func:`~repro.experiments.grid.run_seed_grid`, layered on
+:class:`~repro.experiments.parallel.ParallelRunner`) when
 ``config.workers != 1``; the merge below consumes job results in submission
 order, so the aggregates are identical for every worker count.
 """
@@ -23,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.parallel import ParallelRunner, PropagationJob, run_propagation_job
+from repro.experiments.grid import run_seed_grid
+from repro.experiments.parallel import PropagationJob, run_propagation_job
 from repro.measurement.measuring_node import CampaignResult, MeasurementCampaign, MeasuringNode
 from repro.measurement.stats import DelayDistribution
 from repro.workloads.generators import fund_nodes
@@ -163,36 +165,36 @@ def run_protocol_comparison(
     Returns:
         Label -> pooled :class:`PropagationResult` across all seeds.
     """
-    jobs = [
-        PropagationJob(
+    resolved = {label: _parse_label(label, config, thresholds) for label in protocols}
+
+    def make_job(label: str, seed: int) -> PropagationJob:
+        policy_name, threshold = resolved[label]
+        return PropagationJob(
             label=label,
             policy_name=policy_name,
             threshold_s=threshold,
             seed=seed,
             config=config,
         )
-        for label in protocols
-        for policy_name, threshold in (_parse_label(label, config, thresholds),)
-        for seed in config.seeds
-    ]
-    runner = ParallelRunner.from_config(config)
-    job_results = runner.map_jobs(run_propagation_job, jobs)
+
+    grid = run_seed_grid(protocols, make_job, run_propagation_job, config)
 
     # Merge in submission order — exactly the order the serial nested loop
     # used, so pooled aggregates are identical for every worker count.
     results: dict[str, PropagationResult] = {}
-    for job, job_result in zip(jobs, job_results):
-        pooled = results.get(job.label)
+    for label, seed_results in grid:
+        pooled = results.get(label)
         if pooled is None:
-            pooled = results[job.label] = PropagationResult(protocol=job.label)
-        result = job_result.result
-        pooled.delays = pooled.delays.merge(result.delays)
-        pooled.per_seed[job.seed] = result.delays
-        pooled.campaigns.extend(result.campaigns)
-        pooled.cluster_summaries[job.seed] = job_result.cluster_summary
-        pooled.build_reports[job.seed] = job_result.build_report
-        for rank, dist in result.per_rank.items():
-            pooled.per_rank.setdefault(rank, DelayDistribution()).extend(dist.samples)
+            pooled = results[label] = PropagationResult(protocol=label)
+        for seed, job_result in zip(config.seeds, seed_results):
+            result = job_result.result
+            pooled.delays = pooled.delays.merge(result.delays)
+            pooled.per_seed[seed] = result.delays
+            pooled.campaigns.extend(result.campaigns)
+            pooled.cluster_summaries[seed] = job_result.cluster_summary
+            pooled.build_reports[seed] = job_result.build_report
+            for rank, dist in result.per_rank.items():
+                pooled.per_rank.setdefault(rank, DelayDistribution()).extend(dist.samples)
     return results
 
 

@@ -7,16 +7,20 @@ every threshold, the Δt summary alongside the cluster structure and average
 link RTT — making explicit the mechanism the paper proposes (smaller
 threshold ⇒ smaller clusters with shorter links ⇒ lower delay variance) and
 exposing the connectivity cost of very small thresholds.
+
+Run via ``python -m repro.experiments run threshold_sweep``;
+``python -m repro.experiments.threshold_sweep`` remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.experiments.api import ExperimentOption, deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.parallel import ParallelRunner, ThresholdJob, run_threshold_job
+from repro.experiments.grid import run_seed_grid
+from repro.experiments.parallel import ThresholdJob, run_threshold_job
 from repro.experiments.reporting import ExperimentReport, format_table
 from repro.measurement.stats import DelayDistribution
 
@@ -37,60 +41,6 @@ class ThresholdPoint:
     mean_cluster_size: float
     mean_link_rtt_s: float
     long_link_fraction: float
-
-
-def run_threshold_sweep(
-    config: Optional[ExperimentConfig] = None,
-    thresholds_s: Sequence[float] = DEFAULT_THRESHOLDS_S,
-) -> list[ThresholdPoint]:
-    """Measure BCBPT across a range of latency thresholds.
-
-    Each (threshold, seed) point is an independent simulation; they fan out
-    over ``cfg.workers`` processes and merge in submission order, so the sweep
-    result is identical for every worker count.
-    """
-    cfg = config if config is not None else ExperimentConfig()
-    jobs = [
-        ThresholdJob(threshold_s=threshold, seed=seed, config=cfg)
-        for threshold in thresholds_s
-        for seed in cfg.seeds
-    ]
-    job_results = ParallelRunner.from_config(cfg).map_jobs(run_threshold_job, jobs)
-
-    points: list[ThresholdPoint] = []
-    seeds_per_point = len(cfg.seeds)
-    for index, threshold in enumerate(thresholds_s):
-        seed_results = job_results[index * seeds_per_point : (index + 1) * seeds_per_point]
-        delays = DelayDistribution()
-        cluster_counts: list[float] = []
-        cluster_sizes: list[float] = []
-        link_rtts: list[float] = []
-        long_fractions: list[float] = []
-        for seed_result in seed_results:
-            delays.extend(seed_result.delay_samples)
-            cluster_counts.append(seed_result.cluster_count)
-            cluster_sizes.append(seed_result.mean_cluster_size)
-            if seed_result.mean_link_rtt_s is not None:
-                link_rtts.append(seed_result.mean_link_rtt_s)
-            if seed_result.long_link_fraction is not None:
-                long_fractions.append(seed_result.long_link_fraction)
-        stats = delays.summary()
-        points.append(
-            ThresholdPoint(
-                threshold_s=threshold,
-                mean_delay_s=stats["mean_s"],
-                median_delay_s=stats["median_s"],
-                variance_s2=stats["variance_s2"],
-                p90_delay_s=stats["p90_s"],
-                cluster_count=sum(cluster_counts) / len(cluster_counts),
-                mean_cluster_size=sum(cluster_sizes) / len(cluster_sizes),
-                mean_link_rtt_s=sum(link_rtts) / len(link_rtts) if link_rtts else float("nan"),
-                long_link_fraction=(
-                    sum(long_fractions) / len(long_fractions) if long_fractions else float("nan")
-                ),
-            )
-        )
-    return points
 
 
 def build_report(points: list[ThresholdPoint]) -> ExperimentReport:
@@ -134,22 +84,89 @@ def build_report(points: list[ThresholdPoint]) -> ExperimentReport:
     return report
 
 
+def summarize(points: list[ThresholdPoint]) -> dict[str, dict[str, float]]:
+    """Per-threshold scalar summaries for the result envelope."""
+    from dataclasses import asdict
+
+    return {f"{point.threshold_s * 1000:g}ms": asdict(point) for point in points}
+
+
+@experiment(
+    "threshold_sweep",
+    experiment_id="Ext-1",
+    title="Fine-grained BCBPT latency-threshold sweep",
+    description=__doc__,
+    protocols=("bcbpt",),
+    options=(
+        ExperimentOption(
+            flag="--thresholds-ms",
+            dest="thresholds_ms",
+            type=float,
+            nargs="+",
+            help="thresholds to sweep, in milliseconds "
+            "(default: 10 25 30 50 75 100 150 200)",
+            convert=lambda values: tuple(t / 1000.0 for t in values),
+            kwarg="thresholds_s",
+        ),
+    ),
+    report=build_report,
+    summarize=summarize,
+)
+def run_threshold_sweep(
+    config: Optional[ExperimentConfig] = None,
+    thresholds_s: Sequence[float] = DEFAULT_THRESHOLDS_S,
+) -> list[ThresholdPoint]:
+    """Measure BCBPT across a range of latency thresholds.
+
+    Each (threshold, seed) point is an independent simulation; the shared
+    seed-grid executor fans them out over ``cfg.workers`` processes and
+    regroups in submission order, so the sweep result is identical for every
+    worker count.
+    """
+    cfg = config if config is not None else ExperimentConfig()
+
+    def make_job(threshold: float, seed: int) -> ThresholdJob:
+        return ThresholdJob(threshold_s=threshold, seed=seed, config=cfg)
+
+    grid = run_seed_grid(thresholds_s, make_job, run_threshold_job, cfg)
+
+    points: list[ThresholdPoint] = []
+    for threshold, seed_results in grid:
+        delays = DelayDistribution()
+        cluster_counts: list[float] = []
+        cluster_sizes: list[float] = []
+        link_rtts: list[float] = []
+        long_fractions: list[float] = []
+        for seed_result in seed_results:
+            delays.extend(seed_result.delay_samples)
+            cluster_counts.append(seed_result.cluster_count)
+            cluster_sizes.append(seed_result.mean_cluster_size)
+            if seed_result.mean_link_rtt_s is not None:
+                link_rtts.append(seed_result.mean_link_rtt_s)
+            if seed_result.long_link_fraction is not None:
+                long_fractions.append(seed_result.long_link_fraction)
+        stats = delays.summary()
+        points.append(
+            ThresholdPoint(
+                threshold_s=threshold,
+                mean_delay_s=stats["mean_s"],
+                median_delay_s=stats["median_s"],
+                variance_s2=stats["variance_s2"],
+                p90_delay_s=stats["p90_s"],
+                cluster_count=sum(cluster_counts) / len(cluster_counts),
+                mean_cluster_size=sum(cluster_sizes) / len(cluster_sizes),
+                mean_link_rtt_s=sum(link_rtts) / len(link_rtts) if link_rtts else float("nan"),
+                long_link_fraction=(
+                    sum(long_fractions) / len(long_fractions) if long_fractions else float("nan")
+                ),
+            )
+        )
+    return points
+
+
 def main(argv: Optional[list[str]] = None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    ExperimentConfig.add_cli_arguments(parser)
-    parser.add_argument(
-        "--thresholds-ms",
-        type=float,
-        nargs="+",
-        default=[t * 1000 for t in DEFAULT_THRESHOLDS_S],
-        help="thresholds to sweep, in milliseconds",
-    )
-    args = parser.parse_args(argv)
-    config = ExperimentConfig.from_cli(args)
-    points = run_threshold_sweep(config, tuple(t / 1000.0 for t in args.thresholds_ms))
-    print(build_report(points).render())
-    return 0
+    """Deprecated CLI shim; forwards to ``repro run threshold_sweep``."""
+    return deprecated_main("threshold_sweep", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

@@ -12,14 +12,17 @@ network instead:
 * the vanilla-Bitcoin Δt distribution must be right-skewed (mean above the
   median) with a long tail — the signature of store-and-forward INV/GETDATA
   relay over heterogeneous links.
+
+Run via ``python -m repro.experiments run validation [--crawler-samples N]``;
+``python -m repro.experiments.validation`` remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.experiments.api import ExperimentOption, deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import ExperimentReport, format_table
 from repro.experiments.runner import PropagationExperiment
@@ -64,6 +67,46 @@ class ValidationResultSummary:
         return self.rtt_shape_ok and self.delay_shape_ok
 
 
+def summarize(summary: ValidationResultSummary) -> dict[str, dict[str, float]]:
+    """Scalar validation metrics for the result envelope."""
+    return {
+        "validation": {
+            "rtt_median_s": summary.rtt_median_s,
+            "rtt_p90_s": summary.rtt_p90_s,
+            "intra_region_median_s": summary.intra_region_median_s,
+            "inter_region_median_s": summary.inter_region_median_s,
+            "bitcoin_delay_mean_s": summary.bitcoin_delay_mean_s,
+            "bitcoin_delay_median_s": summary.bitcoin_delay_median_s,
+            "bitcoin_delay_p95_s": summary.bitcoin_delay_p95_s,
+            "reachable_nodes": float(summary.crawler.reachable_nodes),
+            "ping_samples": float(summary.crawler.ping_samples),
+        }
+    }
+
+
+@experiment(
+    "validation",
+    experiment_id="Val-1",
+    title="Simulator validation against published real-network shapes",
+    description=__doc__,
+    protocols=("bitcoin",),
+    options=(
+        ExperimentOption(
+            flag="--crawler-samples",
+            dest="crawler_samples",
+            type=int,
+            help="ping samples for the substrate crawl (default: 5000)",
+        ),
+    ),
+    report=lambda summary: build_report(summary),
+    summarize=summarize,
+    verdicts={
+        "rtt_shape_ok": lambda summary: summary.rtt_shape_ok,
+        "delay_shape_ok": lambda summary: summary.delay_shape_ok,
+        "all_ok": lambda summary: summary.all_ok,
+    },
+    exit_verdict="all_ok",
+)
 def run_validation(
     config: Optional[ExperimentConfig] = None,
     *,
@@ -139,17 +182,8 @@ def build_report(summary: ValidationResultSummary) -> ExperimentReport:
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    ExperimentConfig.add_cli_arguments(parser)
-    parser.add_argument("--crawler-samples", type=int, default=5_000)
-    args = parser.parse_args(argv)
-    config = ExperimentConfig.from_cli(args)
-    summary = run_validation(config, crawler_samples=args.crawler_samples)
-    print(build_report(summary).render())
-    print()
-    print(f"Validation {'PASSED' if summary.all_ok else 'FAILED'}")
-    return 0 if summary.all_ok else 1
+    """Deprecated CLI shim; forwards to ``repro run validation``."""
+    return deprecated_main("validation", argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

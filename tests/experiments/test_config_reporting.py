@@ -36,11 +36,11 @@ class TestExperimentConfig:
 
     def test_cli_round_trip(self):
         parser = argparse.ArgumentParser()
-        ExperimentConfig.add_cli_arguments(parser)
+        ExperimentConfig.add_arguments(parser)
         args = parser.parse_args(
             ["--nodes", "300", "--runs", "7", "--seeds", "1", "2", "--threshold-ms", "40"]
         )
-        config = ExperimentConfig.from_cli(args)
+        config = ExperimentConfig.from_args(args)
         assert config.node_count == 300
         assert config.runs == 7
         assert config.seeds == (1, 2)
@@ -48,10 +48,16 @@ class TestExperimentConfig:
 
     def test_cli_defaults_keep_base(self):
         parser = argparse.ArgumentParser()
-        ExperimentConfig.add_cli_arguments(parser)
+        ExperimentConfig.add_arguments(parser)
         args = parser.parse_args([])
         base = ExperimentConfig(node_count=123)
-        assert ExperimentConfig.from_cli(args, base) == base
+        assert ExperimentConfig.from_args(args, base) == base
+
+    def test_legacy_builder_aliases_still_work(self):
+        parser = argparse.ArgumentParser()
+        ExperimentConfig.add_cli_arguments(parser)
+        args = parser.parse_args(["--nodes", "50"])
+        assert ExperimentConfig.from_cli(args).node_count == 50
 
 
 class TestFormatTable:
