@@ -18,6 +18,9 @@ Each module corresponds to one experiment in DESIGN.md's index:
   long-distance-link ablations of the BCBPT design;
 * :mod:`repro.experiments.churn_resilience` — Ext-6: propagation delay and
   cluster quality under live join/leave churn with cluster maintenance;
+* :mod:`repro.experiments.relay_comparison` — Ext-7: block propagation and
+  per-block overhead under flood vs compact-block vs push relay, crossed
+  with every overlay policy;
 * :mod:`repro.experiments.validation` — Val-1: simulator validation against
   published real-network propagation shapes.
 

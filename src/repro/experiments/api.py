@@ -56,6 +56,7 @@ DRIVER_MODULES = (
     "repro.experiments.doublespend",
     "repro.experiments.ablation",
     "repro.experiments.churn_resilience",
+    "repro.experiments.relay_comparison",
     "repro.experiments.validation",
 )
 

@@ -306,6 +306,61 @@ def run_churn_resilience_job(job: ChurnResilienceJob) -> ChurnJobResult:
 
 
 @dataclass(frozen=True)
+class RelayJob:
+    """One (relay strategy, protocol, seed) block-propagation campaign.
+
+    Attributes:
+        relay: relay-strategy name (one of
+            :data:`repro.protocol.relay.RELAY_NAMES`).
+        protocol: neighbour-selection policy under test.
+        seed: master seed for the job's network and simulator.
+        blocks: blocks mined (and measured) in the campaign.
+        txs_per_block: fresh transactions injected and drained before each
+            block, so compact reconstruction has a mempool to draw from.
+        block_horizon_s: simulated time allowed for each block to reach the
+            whole network.
+        threshold_s: BCBPT latency threshold ``d_t`` in seconds.
+        config: shared experiment configuration.
+    """
+
+    relay: str
+    protocol: str
+    seed: int
+    blocks: int
+    txs_per_block: int
+    block_horizon_s: float
+    threshold_s: float
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class RelayJobResult:
+    """Per-(relay, protocol, seed) tallies merged by the relay driver."""
+
+    relay: str
+    protocol: str
+    seed: int
+    block_delay_samples: tuple[float, ...]
+    blocks_measured: int
+    relay_messages: int
+    relay_bytes: int
+    block_payload_bytes: int
+    message_breakdown: dict[str, int]
+    coverage: float
+    compact_blocks_reconstructed: int
+    compact_txs_requested: int
+    compact_fallbacks: int
+    blocks_pushed: int
+
+
+def run_relay_job(job: RelayJob) -> RelayJobResult:
+    """Execute one relay campaign — the process-pool entry point."""
+    from repro.experiments.relay_comparison import run_relay_seed
+
+    return run_relay_seed(job)
+
+
+@dataclass(frozen=True)
 class OverheadJob:
     """One (protocol, seed) topology-build + campaign overhead measurement."""
 

@@ -29,6 +29,16 @@ DEFAULT_TX_BYTES = 258
 #: Payload of a version message (without user agent).
 VERSION_PAYLOAD_BYTES = 102
 
+#: Serialized block header size (the fixed part of block and cmpctblock).
+BLOCK_HEADER_BYTES = 80
+
+#: Fixed getblocktxn/blocktxn overhead: 32-byte block hash + 1-byte count.
+BLOCK_TXN_REQUEST_BYTES = 33
+
+#: Per-index size in a getblocktxn request (differentially encoded varint;
+#: three bytes is a conservative flat estimate).
+BLOCK_TXN_INDEX_BYTES = 3
+
 #: Ping / pong payload: an 8-byte nonce.
 PING_PAYLOAD_BYTES = 8
 
@@ -70,6 +80,9 @@ def message_size_bytes(command: str, payload: Any = None) -> int:
             * ``inv`` / ``getdata`` — number of inventory entries (int);
             * ``tx`` — transaction size in bytes (int), or None for a default;
             * ``addr`` / ``cluster_members`` — number of address entries (int);
+            * ``cmpctblock`` — payload bytes (header + short ids + coinbase);
+            * ``getblocktxn`` — number of requested transaction indexes (int);
+            * ``blocktxn`` — total bytes of the returned transactions (int);
             * fixed-size commands ignore the payload.
 
     Returns:
@@ -91,6 +104,23 @@ def message_size_bytes(command: str, payload: Any = None) -> int:
         if size <= 0:
             raise ValueError(f"block size must be positive, got {size}")
         return HEADER_BYTES + size
+    if command == "cmpctblock":
+        size = int(payload) if payload is not None else BLOCK_HEADER_BYTES
+        if size < BLOCK_HEADER_BYTES:
+            raise ValueError(
+                f"compact block payload cannot be smaller than a header, got {size}"
+            )
+        return HEADER_BYTES + size
+    if command == "getblocktxn":
+        count = int(payload) if payload is not None else 1
+        if count < 0:
+            raise ValueError(f"index count cannot be negative, got {count}")
+        return HEADER_BYTES + BLOCK_TXN_REQUEST_BYTES + count * BLOCK_TXN_INDEX_BYTES
+    if command == "blocktxn":
+        size = int(payload) if payload is not None else 0
+        if size < 0:
+            raise ValueError(f"transaction bytes cannot be negative, got {size}")
+        return HEADER_BYTES + BLOCK_TXN_REQUEST_BYTES + size
     if command in ("addr", "cluster_members"):
         count = int(payload) if payload is not None else 1
         if count < 0:

@@ -13,8 +13,10 @@ Implements the pieces of the Bitcoin system the paper's evaluation depends on:
   propagation);
 * :mod:`repro.protocol.mempool` — per-node pool of unconfirmed transactions;
 * :mod:`repro.protocol.messages` — the P2P message vocabulary (VERSION, INV,
-  GETDATA, TX, PING/PONG, ADDR, JOIN, ...);
-* :mod:`repro.protocol.node` — the relay state machine every peer runs;
+  GETDATA, TX, CMPCTBLOCK, PING/PONG, ADDR, JOIN, ...);
+* :mod:`repro.protocol.node` — the peer: wallet, mempool, chain and intake;
+* :mod:`repro.protocol.relay` — pluggable relay strategies (flood / compact
+  blocks / cluster push) that own the node's message plane;
 * :mod:`repro.protocol.network` — wires nodes, links and the event engine
   together and delivers messages with realistic delays;
 * :mod:`repro.protocol.discovery` — DNS seeds and ADDR gossip;
@@ -31,8 +33,11 @@ from repro.protocol.mempool import Mempool
 from repro.protocol.messages import (
     AddrMessage,
     BlockMessage,
+    BlockTxnMessage,
     ClusterMembersMessage,
+    CmpctBlockMessage,
     GetAddrMessage,
+    GetBlockTxnMessage,
     GetDataMessage,
     InvMessage,
     InventoryType,
@@ -47,6 +52,16 @@ from repro.protocol.messages import (
 )
 from repro.protocol.network import P2PNetwork
 from repro.protocol.node import BitcoinNode, NodeConfig
+from repro.protocol.relay import (
+    RELAY_NAMES,
+    RELAY_STRATEGIES,
+    CompactBlockRelay,
+    FloodRelay,
+    PushRelay,
+    RelayStrategy,
+    build_relay_strategy,
+    validate_relay_name,
+)
 from repro.protocol.transaction import Transaction, TxInput, TxOutput
 from repro.protocol.utxo import UtxoSet
 from repro.protocol.validation import TransactionValidator, ValidationResult
@@ -58,10 +73,15 @@ __all__ = [
     "Block",
     "BlockHeader",
     "BlockMessage",
+    "BlockTxnMessage",
     "Blockchain",
     "ClusterMembersMessage",
+    "CmpctBlockMessage",
+    "CompactBlockRelay",
     "DnsSeedService",
+    "FloodRelay",
     "GetAddrMessage",
+    "GetBlockTxnMessage",
     "GetDataMessage",
     "InvMessage",
     "InventoryType",
@@ -74,6 +94,10 @@ __all__ = [
     "P2PNetwork",
     "PingMessage",
     "PongMessage",
+    "PushRelay",
+    "RELAY_NAMES",
+    "RELAY_STRATEGIES",
+    "RelayStrategy",
     "Transaction",
     "TransactionValidator",
     "TxInput",
@@ -83,7 +107,9 @@ __all__ = [
     "ValidationResult",
     "VerackMessage",
     "VersionMessage",
+    "build_relay_strategy",
     "sha256_hex",
+    "validate_relay_name",
     "sign",
     "verify_signature",
 ]

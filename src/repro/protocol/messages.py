@@ -17,10 +17,27 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.protocol.block import Block
+from repro.net.message import BLOCK_HEADER_BYTES
+from repro.protocol.block import Block, BlockHeader
 from repro.protocol.transaction import Transaction
 
 _message_counter = itertools.count()
+
+#: Bytes of a compact-block short transaction id on the wire (BIP 152 uses 6).
+SHORT_ID_BYTES = 6
+
+#: Hex characters of a short id (two per byte).
+SHORT_ID_HEX_CHARS = SHORT_ID_BYTES * 2
+
+
+def short_txid(txid: str) -> str:
+    """The compact-relay short id of a transaction id (txid prefix).
+
+    Real compact blocks salt short ids with SipHash per announcement; the
+    simulation's txids are already uniform SHA-256 strings, so a plain prefix
+    gives the same collision behaviour without the keying machinery.
+    """
+    return txid[:SHORT_ID_HEX_CHARS]
 
 
 class InventoryType(enum.Enum):
@@ -144,6 +161,62 @@ class BlockMessage(Message):
 
     def wire_payload(self) -> Optional[int]:
         return self.block.size_bytes if self.block is not None else None
+
+
+@dataclass(frozen=True)
+class CmpctBlockMessage(Message):
+    """Compact-block announcement: header, short transaction ids, coinbase.
+
+    The BIP 152-style relay optimisation: instead of announcing a block by
+    hash (INV) and shipping the full payload on request, the relayer pushes
+    the 80-byte header plus one :data:`SHORT_ID_HEX_CHARS`-character short id
+    per confirmed transaction.  The receiver reconstructs the block from its
+    own mempool and only requests the transactions it is missing with
+    :class:`GetBlockTxnMessage`.  The coinbase can never be in anyone's
+    mempool, so it is always prefilled.
+    """
+
+    header: Optional["BlockHeader"] = None
+    height: int = 0
+    short_ids: tuple[str, ...] = ()
+    coinbase: Optional[Transaction] = None
+    command: str = field(default="cmpctblock", init=False, repr=False)
+
+    def wire_payload(self) -> int:
+        coinbase_bytes = self.coinbase.size_bytes if self.coinbase is not None else 0
+        return BLOCK_HEADER_BYTES + len(self.short_ids) * SHORT_ID_BYTES + coinbase_bytes
+
+    @property
+    def block_hash(self) -> str:
+        """Hash of the announced block (from its header)."""
+        if self.header is None:
+            raise ValueError("compact block message carries no header")
+        return self.header.block_hash
+
+
+@dataclass(frozen=True)
+class GetBlockTxnMessage(Message):
+    """Request for the transactions a compact block could not reconstruct."""
+
+    block_hash: str = ""
+    indexes: tuple[int, ...] = ()
+    command: str = field(default="getblocktxn", init=False, repr=False)
+
+    def wire_payload(self) -> int:
+        return len(self.indexes)
+
+
+@dataclass(frozen=True)
+class BlockTxnMessage(Message):
+    """Reply to :class:`GetBlockTxnMessage`: the requested transactions."""
+
+    block_hash: str = ""
+    indexes: tuple[int, ...] = ()
+    transactions: tuple[Transaction, ...] = ()
+    command: str = field(default="blocktxn", init=False, repr=False)
+
+    def wire_payload(self) -> int:
+        return sum(tx.size_bytes for tx in self.transactions)
 
 
 @dataclass(frozen=True)

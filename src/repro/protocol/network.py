@@ -233,6 +233,9 @@ class P2PNetwork:
         Returns:
             Number of copies scheduled.
         """
+        # Not delegated to multicast(): neighbours are connected by
+        # construction, and this per-INV hot path must not pay multicast's
+        # per-peer are_connected lookup.
         excluded = exclude or set()
         sender_online = self.is_online(sender_id)
         eligible: list[int] = []
@@ -243,6 +246,48 @@ class P2PNetwork:
                 eligible.append(peer)
             else:
                 self.messages_dropped += 1
+        return self._fanout(sender_id, eligible, message)
+
+    def multicast(
+        self,
+        sender_id: int,
+        peers: "list[int]",
+        message: Message,
+        *,
+        exclude: Optional[set[int]] = None,
+    ) -> int:
+        """Send ``message`` to an explicit subset of peers.
+
+        Like :meth:`broadcast` but over a caller-chosen peer list (e.g. a
+        push-relay strategy targeting only cluster links), with the same
+        batched congestion-jitter draws.  Peers that are not connected or not
+        online are dropped and counted, mirroring :meth:`send`.
+
+        Returns:
+            Number of copies scheduled.
+        """
+        excluded = exclude or set()
+        sender_online = self.is_online(sender_id)
+        eligible: list[int] = []
+        for peer in peers:
+            if peer in excluded:
+                continue
+            if not self.topology.are_connected(sender_id, peer):
+                self.messages_dropped += 1
+                continue
+            if sender_online and self.is_online(peer):
+                eligible.append(peer)
+            else:
+                self.messages_dropped += 1
+        return self._fanout(sender_id, eligible, message)
+
+    def _fanout(self, sender_id: int, eligible: "list[int]", message: Message) -> int:
+        """Schedule one copy per eligible peer, batching jitter draws.
+
+        When every destination pair's routing is already known, the congestion
+        jitter for all copies is drawn in one batched call (bit-identical to
+        the per-message draws — see :meth:`LatencyModel.jitter_factors`).
+        """
         if not eligible:
             return 0
         if len(eligible) > 1 and self.delays.can_batch_jitter(sender_id, eligible):

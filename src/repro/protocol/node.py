@@ -1,7 +1,11 @@
-"""The Bitcoin node: relay state machine, wallet, mempool and chain.
+"""The Bitcoin node: wallet, mempool, chain and the relay strategy that moves them.
 
-Every peer in the simulation runs this class.  Its behaviour follows Fig. 1 of
-the paper and the standard Bitcoin relay rules:
+Every peer in the simulation runs this class.  The node owns *what it knows*
+— the blockchain, the mempool, the UTXO view, the address book — while *how
+objects travel* (INV announcement, GETDATA scheduling, forwarding) is
+delegated to a pluggable :class:`~repro.protocol.relay.RelayStrategy` chosen
+by :attr:`NodeConfig.relay_strategy`.  The default ``flood`` strategy follows
+Fig. 1 of the paper and the standard Bitcoin relay rules:
 
 1. on creating or fully verifying a transaction, announce it to every
    neighbour with an ``INV`` (never push the full transaction unsolicited);
@@ -10,9 +14,11 @@ the paper and the standard Bitcoin relay rules:
 4. on receiving a ``TX``, verify it against the local ledger (charging the
    verification cost as a delay) and, if valid, go to step 1.
 
-Blocks follow the same INV/GETDATA/BLOCK pattern.  The node also answers
-``GETADDR`` with a sample of known addresses, responds to ``PING``, and
-forwards cluster-control messages (``JOIN``, ``CLUSTER_MEMBERS``) to whatever
+Blocks follow the same INV/GETDATA/BLOCK pattern under ``flood``; the
+``compact`` and ``push`` strategies replace the block half of that plane (see
+:mod:`repro.protocol.relay`).  The node itself still answers ``GETADDR`` with
+a sample of known addresses, responds to ``PING``, and forwards
+cluster-control messages (``JOIN``, ``CLUSTER_MEMBERS``) to whatever
 neighbour-selection policy is attached to it.
 """
 
@@ -27,10 +33,8 @@ from repro.protocol.crypto import KeyPair
 from repro.protocol.mempool import Mempool
 from repro.protocol.messages import (
     AddrMessage,
-    BlockMessage,
     ClusterMembersMessage,
     GetAddrMessage,
-    GetDataMessage,
     InvMessage,
     InventoryType,
     JoinAcceptMessage,
@@ -38,10 +42,10 @@ from repro.protocol.messages import (
     Message,
     PingMessage,
     PongMessage,
-    TxMessage,
     VerackMessage,
     VersionMessage,
 )
+from repro.protocol.relay import build_relay_strategy
 from repro.protocol.transaction import Transaction
 from repro.protocol.utxo import UtxoSet
 from repro.protocol.validation import TransactionValidator, ValidationResult
@@ -99,6 +103,21 @@ class NodeConfig:
             extra INV traffic during topology construction would perturb the
             paper-figure baselines; churn scenarios
             (:class:`~repro.workloads.scenarios.ChurnSchedule`) opt in.
+        relay_strategy: name of the :class:`~repro.protocol.relay.RelayStrategy`
+            the node runs (``"flood"``, ``"compact"`` or ``"push"`` — see
+            :data:`~repro.protocol.relay.RELAY_NAMES`).  ``"flood"`` is the
+            paper's INV/GETDATA baseline and reproduces the pre-strategy
+            behaviour byte-for-byte in static scenarios; under churn the
+            ``getdata_retry_s`` timeout additionally recovers requests whose
+            reply died with a departed peer.
+        getdata_retry_s: how long an in-flight GETDATA may stay unanswered
+            before a *duplicate* INV for the same hash re-requests it from the
+            newly-announcing peer.  Until then duplicate announcements are
+            suppressed (the cross-peer request dedup), counted in
+            ``NodeStatistics.getdata_saved``.
+        max_orphan_blocks: cap on blocks stashed while their parent is still
+            missing; the oldest stashed block is evicted first (bounded FIFO),
+            so heavy churn cannot grow the orphan pool without limit.
     """
 
     max_outbound: int = 8
@@ -108,6 +127,15 @@ class NodeConfig:
     verification_enabled: bool = True
     relay_conflicts: bool = False
     resync_on_reconnect: bool = False
+    relay_strategy: str = "flood"
+    getdata_retry_s: float = 30.0
+    max_orphan_blocks: int = 64
+
+    def __post_init__(self) -> None:
+        if self.getdata_retry_s <= 0:
+            raise ValueError("getdata_retry_s must be positive")
+        if self.max_orphan_blocks <= 0:
+            raise ValueError("max_orphan_blocks must be positive")
 
 
 @dataclass
@@ -125,6 +153,19 @@ class NodeStatistics:
     duplicate_invs: int = 0
     sessions_ended: int = 0
     reconnect_syncs: int = 0
+    #: Duplicate in-flight GETDATA requests suppressed by the cross-peer dedup.
+    getdata_saved: int = 0
+    #: Timed-out in-flight requests re-issued to a newly-announcing peer.
+    getdata_retries: int = 0
+    #: Orphan blocks dropped by the bounded pool's FIFO eviction.
+    orphans_evicted: int = 0
+    #: Compact-relay activity (``relay_strategy="compact"`` only).
+    compact_blocks_received: int = 0
+    compact_blocks_reconstructed: int = 0
+    compact_txs_requested: int = 0
+    compact_fallbacks: int = 0
+    #: Full blocks pushed unsolicited to cluster peers (``"push"`` only).
+    blocks_pushed: int = 0
 
 
 class BitcoinNode:
@@ -169,9 +210,9 @@ class BitcoinNode:
         self.known_transactions: set[str] = set()
         #: Block hashes this node has seen.
         self.known_blocks: set[str] = {self.blockchain.genesis.block_hash}
-        #: Transaction ids currently requested but not yet received.
-        self._pending_tx_requests: set[str] = set()
-        self._pending_block_requests: set[str] = set()
+        #: The relay strategy: owns announcement, GETDATA scheduling and
+        #: forwarding, plus the in-flight request state.
+        self.relay = build_relay_strategy(self.config.relay_strategy, self)
         #: Peer addresses learned through ADDR gossip and the DNS seed.
         self.address_book: set[int] = set()
         #: Time each accepted transaction was first accepted locally.
@@ -188,11 +229,16 @@ class BitcoinNode:
         #: Blocks received before their parent: parent hash -> waiting blocks.
         #: Retried as soon as the parent is accepted, so a node catching up
         #: over a multi-block gap (e.g. after rejoining under churn) converges
-        #: instead of dropping every out-of-order block.
+        #: instead of dropping every out-of-order block.  Bounded by
+        #: ``config.max_orphan_blocks`` with FIFO eviction.
         self._orphan_blocks: dict[str, list[Block]] = {}
+        self._orphan_count = 0
 
         #: External observers notified when a transaction is accepted locally.
         self.transaction_listeners: list[Callable[[int, Transaction, float], None]] = []
+        #: External observers notified when a block is accepted locally
+        #: (the relay-comparison experiment measures block Δt through this).
+        self.block_listeners: list[Callable[[int, Block, float], None]] = []
         #: External observers notified when this node sends an INV for a tx.
         self.announcement_listeners: list[Callable[[int, str, float], None]] = []
         #: Clustering policy hook for JOIN / CLUSTER_MEMBERS traffic.
@@ -234,12 +280,11 @@ class BitcoinNode:
         """Called by the network when this node's session ends (churn leave).
 
         The connections are already gone, and with them every in-flight
-        request: forgetting the pending GETDATA sets lets a later INV for the
-        same inventory trigger a fresh request after the node rejoins, instead
-        of being ignored as already-requested forever.
+        request: the relay strategy forgets its pending GETDATA state so a
+        later INV for the same inventory triggers a fresh request after the
+        node rejoins, instead of being ignored as already-requested forever.
         """
-        self._pending_tx_requests.clear()
-        self._pending_block_requests.clear()
+        self.relay.on_offline()
         self.stats.sessions_ended += 1
 
     def on_online(self, at: Optional[float] = None) -> None:
@@ -352,7 +397,7 @@ class BitcoinNode:
         """
         self.known_transactions.add(tx.txid)
         self.transaction_first_seen_times.setdefault(tx.txid, self.now)
-        self._pending_tx_requests.discard(tx.txid)
+        self.relay.note_transaction_received(tx.txid)
         result = self.validator.validate_transaction(tx, self._effective_utxo_for(tx))
         if not result.valid:
             self.stats.transactions_rejected += 1
@@ -419,43 +464,26 @@ class BitcoinNode:
         return observed[1] if observed is not None else None
 
     def announce_transaction(self, txid: str, *, exclude: Optional[set[int]] = None) -> int:
-        """Send an INV for ``txid`` to every neighbour (minus ``exclude``)."""
-        network = self._require_network()
-        message = InvMessage(
-            sender=self.node_id,
-            inventory_type=InventoryType.TRANSACTION,
-            hashes=(txid,),
-        )
-        count = network.broadcast(self.node_id, message, exclude=exclude)
-        for listener in self.announcement_listeners:
-            listener(self.node_id, txid, self.now)
-        return count
+        """Announce ``txid`` to the neighbours, as the relay strategy sees fit."""
+        return self.relay.announce_transaction(txid, exclude=exclude)
 
     def announce_block(self, block_hash: str, *, exclude: Optional[set[int]] = None) -> int:
-        """Send an INV for a block to every neighbour (minus ``exclude``)."""
-        network = self._require_network()
-        message = InvMessage(
-            sender=self.node_id,
-            inventory_type=InventoryType.BLOCK,
-            hashes=(block_hash,),
-        )
-        return network.broadcast(self.node_id, message, exclude=exclude)
+        """Announce a block to the neighbours, as the relay strategy sees fit."""
+        return self.relay.announce_block(block_hash, exclude=exclude)
 
     # --------------------------------------------------------- block intake
     def accept_block(self, block: Block, *, origin_peer: Optional[int]) -> bool:
         """Validate and store a block; relays it onwards when accepted."""
         self.known_blocks.add(block.block_hash)
-        self._pending_block_requests.discard(block.block_hash)
+        self.relay.note_block_received(block.block_hash)
         if self.blockchain.has_block(block.block_hash):
             return False
         if not self.blockchain.has_block(block.previous_hash):
             # Parent unknown: stash the block and request the parent, so the
             # whole branch is replayed once the gap fills in.
-            waiting = self._orphan_blocks.setdefault(block.previous_hash, [])
-            if all(b.block_hash != block.block_hash for b in waiting):
-                waiting.append(block)
+            self._stash_orphan(block)
             if origin_peer is not None:
-                self._request_blocks(origin_peer, (block.previous_hash,))
+                self.relay.request_blocks(origin_peer, (block.previous_hash,))
             return False
         parent = self.blockchain.get_block(block.previous_hash)
         parent_utxo = self._utxo_as_of(parent)
@@ -467,15 +495,51 @@ class BitcoinNode:
         if tip_changed:
             self.utxo = self.blockchain.utxo_set()
             self.mempool.remove_confirmed(block.txids)
+        now = self.now
+        for listener in self.block_listeners:
+            listener(self.node_id, block, now)
         exclude = {origin_peer} if origin_peer is not None else None
         self.announce_block(block.block_hash, exclude=exclude)
         # Replay stashed children with no origin: the peer that sent an orphan
         # already has it, so a duplicate INV there is harmless, whereas
         # excluding the *parent's* sender would hide the child from the one
         # neighbour that may still be missing it.
-        for orphan in self._orphan_blocks.pop(block.block_hash, []):
+        waiting = self._orphan_blocks.pop(block.block_hash, [])
+        self._orphan_count -= len(waiting)
+        for orphan in waiting:
             self.accept_block(orphan, origin_peer=None)
         return True
+
+    def _stash_orphan(self, block: Block) -> None:
+        """Stash a parent-less block, evicting the oldest beyond the cap.
+
+        The pool is bounded by ``config.max_orphan_blocks``: without a cap a
+        node kept offline through heavy churn would accumulate every block it
+        cannot yet connect, a slow memory leak.  Eviction is FIFO — the
+        longest-waiting block is the least likely to ever see its parent.
+        """
+        waiting = self._orphan_blocks.setdefault(block.previous_hash, [])
+        if any(b.block_hash == block.block_hash for b in waiting):
+            return
+        waiting.append(block)
+        self._orphan_count += 1
+        while self._orphan_count > self.config.max_orphan_blocks:
+            oldest_parent = next(iter(self._orphan_blocks))
+            queue = self._orphan_blocks[oldest_parent]
+            evicted = queue.pop(0)
+            if not queue:
+                del self._orphan_blocks[oldest_parent]
+            self._orphan_count -= 1
+            self.stats.orphans_evicted += 1
+            # Forget the evicted block entirely: leaving it in known_blocks
+            # would suppress every future re-announcement as a duplicate,
+            # making the eviction permanent instead of a deferral.
+            self.known_blocks.discard(evicted.block_hash)
+
+    @property
+    def orphan_block_count(self) -> int:
+        """Blocks currently stashed while waiting for a missing parent."""
+        return self._orphan_count
 
     def _utxo_as_of(self, block: Block) -> UtxoSet:
         """UTXO state after applying the chain ending at ``block``."""
@@ -487,16 +551,15 @@ class BitcoinNode:
 
     # -------------------------------------------------------- message intake
     def handle_message(self, sender: int, message: Message) -> None:
-        """Entry point for every delivered protocol message."""
-        if isinstance(message, InvMessage):
-            self._handle_inv(sender, message)
-        elif isinstance(message, GetDataMessage):
-            self._handle_getdata(sender, message)
-        elif isinstance(message, TxMessage):
-            self._handle_tx(sender, message)
-        elif isinstance(message, BlockMessage):
-            self._handle_block(sender, message)
-        elif isinstance(message, PingMessage):
+        """Entry point for every delivered protocol message.
+
+        Relay-plane messages (INV, GETDATA, TX, BLOCK and the compact-block
+        trio) are delegated to the node's :class:`~repro.protocol.relay.
+        RelayStrategy`; the control plane stays here.
+        """
+        if self.relay.handle_message(sender, message):
+            return
+        if isinstance(message, PingMessage):
             self.stats.pings_received += 1
             self._require_network().send(
                 self.node_id, sender, PongMessage(sender=self.node_id, nonce=message.nonce)
@@ -521,111 +584,12 @@ class BitcoinNode:
         else:
             raise TypeError(f"node {self.node_id} received unsupported message {message!r}")
 
-    # --------------------------------------------------------- INV / GETDATA
-    def _handle_inv(self, sender: int, message: InvMessage) -> None:
-        self.stats.invs_received += 1
-        network = self._require_network()
-        if message.inventory_type is InventoryType.TRANSACTION:
-            unknown = [
-                h
-                for h in message.hashes
-                if h not in self.known_transactions and h not in self._pending_tx_requests
-            ]
-            if not unknown:
-                self.stats.duplicate_invs += 1
-                return
-            now = self.now
-            for txid in unknown:
-                self.transaction_first_seen_times.setdefault(txid, now)
-            self._pending_tx_requests.update(unknown)
-            self.stats.getdata_sent += 1
-            network.send(
-                self.node_id,
-                sender,
-                GetDataMessage(
-                    sender=self.node_id,
-                    inventory_type=InventoryType.TRANSACTION,
-                    hashes=tuple(unknown),
-                ),
-            )
-        else:
-            unknown = [
-                h
-                for h in message.hashes
-                if h not in self.known_blocks and h not in self._pending_block_requests
-            ]
-            if not unknown:
-                self.stats.duplicate_invs += 1
-                return
-            self._request_blocks(sender, tuple(unknown))
-
-    def _request_blocks(self, peer: int, hashes: tuple[str, ...]) -> None:
-        self._pending_block_requests.update(hashes)
-        self._require_network().send(
-            self.node_id,
-            peer,
-            GetDataMessage(
-                sender=self.node_id, inventory_type=InventoryType.BLOCK, hashes=hashes
-            ),
-        )
-
-    def _handle_getdata(self, sender: int, message: GetDataMessage) -> None:
-        network = self._require_network()
-        if message.inventory_type is InventoryType.TRANSACTION:
-            for txid in message.hashes:
-                tx = self.mempool.get(txid)
-                if tx is None:
-                    tx = self._conflict_store.get(txid)
-                if tx is None:
-                    tx = self._find_confirmed_transaction(txid)
-                if tx is not None:
-                    network.send(self.node_id, sender, TxMessage(sender=self.node_id, transaction=tx))
-        else:
-            for block_hash in message.hashes:
-                if self.blockchain.has_block(block_hash):
-                    network.send(
-                        self.node_id,
-                        sender,
-                        BlockMessage(sender=self.node_id, block=self.blockchain.get_block(block_hash)),
-                    )
-
-    def _find_confirmed_transaction(self, txid: str) -> Optional[Transaction]:
+    def find_confirmed_transaction(self, txid: str) -> Optional[Transaction]:
+        """Look a transaction up on the best chain (None if not confirmed)."""
         for tx in self.blockchain.transactions_on_best_chain():
             if tx.txid == txid:
                 return tx
         return None
-
-    # ------------------------------------------------------------ TX / BLOCK
-    def _handle_tx(self, sender: int, message: TxMessage) -> None:
-        if message.transaction is None:
-            return
-        tx = message.transaction
-        if tx.txid in self.known_transactions and tx.txid not in self._pending_tx_requests:
-            return
-        result = self.accept_transaction(tx, origin_peer=sender)
-        if not result.valid:
-            return
-        if not self.config.relay_transactions:
-            return
-        relay_delay = result.verification_cost_s if self.config.verification_enabled else 0.0
-        simulator = self._require_network().simulator
-        txid = tx.txid
-        simulator.schedule(
-            relay_delay,
-            lambda: self._relay_transaction(txid, exclude_peer=sender),
-            label=f"relay:{self.node_id}",
-        )
-
-    def _relay_transaction(self, txid: str, *, exclude_peer: int) -> None:
-        if txid not in self.mempool and not self.blockchain.contains_transaction(txid):
-            return
-        self.stats.transactions_relayed += 1
-        self.announce_transaction(txid, exclude={exclude_peer})
-
-    def _handle_block(self, sender: int, message: BlockMessage) -> None:
-        if message.block is None:
-            return
-        self.accept_block(message.block, origin_peer=sender)
 
     # ------------------------------------------------------------------ addr
     def _handle_getaddr(self, sender: int) -> None:

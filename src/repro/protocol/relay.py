@@ -1,0 +1,587 @@
+"""Pluggable relay strategies: how a node announces, requests and forwards.
+
+The Fig. 1 INV/GETDATA flooding used to be hardcoded inside
+:class:`~repro.protocol.node.BitcoinNode`; this module extracts the whole
+message plane behind one interface so the *relay protocol* becomes an
+experimental axis, orthogonal to the neighbour-selection policy the paper
+studies.  A strategy owns
+
+* inventory announcement (``announce_transaction`` / ``announce_block``),
+* GETDATA scheduling with cross-peer de-duplication and timeout-based retry,
+* transaction/block forwarding after local acceptance, and
+* the per-node in-flight request state (dropped when the session ends).
+
+Three concrete strategies ship:
+
+``flood`` (:class:`FloodRelay`)
+    The legacy behaviour: INV to every neighbour, GETDATA on first
+    announcement, full TX/BLOCK on request.  Byte-identical to the
+    pre-refactor node in static scenarios (pinned by golden-fingerprint
+    equivalence tests); under churn the timeout-based GETDATA retry is a
+    deliberate improvement — a request whose reply died with a departed peer
+    used to suppress duplicate announcements forever.
+
+``compact`` (:class:`CompactBlockRelay`)
+    BIP 152-style compact blocks: accepted blocks are pushed as a header plus
+    short transaction ids (:class:`~repro.protocol.messages.CmpctBlockMessage`);
+    receivers reconstruct from their mempool and fetch only the transactions
+    they miss (``GETBLOCKTXN``/``BLOCKTXN``), falling back to a full GETDATA
+    when reconstruction cannot complete.  Transaction relay stays INV-based.
+
+``push`` (:class:`PushRelay`)
+    Bitcoin-XT-style unsolicited push: accepted blocks are sent in full to
+    cluster peers (no INV/GETDATA round-trip on intra-cluster links); links
+    outside the cluster fall back to INV announcement.  Under the vanilla
+    Bitcoin policy, which builds no cluster links, this degenerates to flood.
+
+Scenarios select a strategy through
+:attr:`~repro.protocol.node.NodeConfig.relay_strategy` (or
+``build_scenario(..., relay=...)``); register a new one by subclassing
+:class:`RelayStrategy` and adding it to :data:`RELAY_STRATEGIES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.protocol.block import Block, merkle_root
+from repro.protocol.messages import (
+    BlockMessage,
+    BlockTxnMessage,
+    CmpctBlockMessage,
+    GetBlockTxnMessage,
+    GetDataMessage,
+    InvMessage,
+    InventoryType,
+    Message,
+    TxMessage,
+    short_txid,
+)
+from repro.protocol.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.protocol.network import P2PNetwork
+    from repro.protocol.node import BitcoinNode
+
+
+class RelayStrategy:
+    """Base class: the flood message plane every concrete strategy refines.
+
+    The strategy is the node's relay state machine — it handles the
+    inventory-plane messages (:class:`~repro.protocol.messages.InvMessage`,
+    ``GETDATA``, ``TX``, ``BLOCK`` and the compact-relay trio), tracks which
+    hashes are in flight so the same object is never requested from several
+    peers at once, and decides how a locally-accepted object is forwarded.
+
+    Args:
+        node: the owning node; the strategy reads/writes its chain, mempool,
+            known-inventory sets and statistics counters.
+    """
+
+    #: Registry key; concrete subclasses override.
+    name = "base"
+
+    def __init__(self, node: "BitcoinNode") -> None:
+        self.node = node
+        #: In-flight GETDATA state: requested hash -> request time.  A later
+        #: INV for a pending hash is suppressed (the cross-peer dedup this
+        #: used to leak: the timestamp lets a *stale* request — the serving
+        #: peer died, the reply was dropped — be retried from the newly
+        #: announcing peer instead of being ignored forever.
+        self.pending_tx_requests: dict[str, float] = {}
+        self.pending_block_requests: dict[str, float] = {}
+
+    # ------------------------------------------------------------- plumbing
+    def _network(self) -> "P2PNetwork":
+        return self.node._require_network()
+
+    @property
+    def _now(self) -> float:
+        return self.node.now
+
+    # ------------------------------------------------------------- dispatch
+    def handle_message(self, sender: int, message: Message) -> bool:
+        """Dispatch a relay-plane message; returns False for other messages."""
+        if isinstance(message, InvMessage):
+            self.handle_inv(sender, message)
+        elif isinstance(message, GetDataMessage):
+            self.handle_getdata(sender, message)
+        elif isinstance(message, TxMessage):
+            self.handle_tx(sender, message)
+        elif isinstance(message, BlockMessage):
+            self.handle_block(sender, message)
+        elif isinstance(message, CmpctBlockMessage):
+            self.handle_cmpct_block(sender, message)
+        elif isinstance(message, GetBlockTxnMessage):
+            self.handle_get_block_txn(sender, message)
+        elif isinstance(message, BlockTxnMessage):
+            self.handle_block_txn(sender, message)
+        else:
+            return False
+        return True
+
+    # ------------------------------------------------------ lifecycle hooks
+    def on_offline(self) -> None:
+        """Session ended: every in-flight request died with the connections."""
+        self.pending_tx_requests.clear()
+        self.pending_block_requests.clear()
+
+    def note_transaction_received(self, txid: str) -> None:
+        """The transaction arrived (by any path); it is no longer in flight."""
+        self.pending_tx_requests.pop(txid, None)
+
+    def note_block_received(self, block_hash: str) -> None:
+        """The block arrived (by any path); it is no longer in flight."""
+        self.pending_block_requests.pop(block_hash, None)
+
+    # --------------------------------------------------------- announcement
+    def announce_transaction(self, txid: str, *, exclude: Optional[set[int]] = None) -> int:
+        """Send an INV for ``txid`` to every neighbour (minus ``exclude``)."""
+        node = self.node
+        message = InvMessage(
+            sender=node.node_id,
+            inventory_type=InventoryType.TRANSACTION,
+            hashes=(txid,),
+        )
+        count = self._network().broadcast(node.node_id, message, exclude=exclude)
+        for listener in node.announcement_listeners:
+            listener(node.node_id, txid, self._now)
+        return count
+
+    def announce_block(self, block_hash: str, *, exclude: Optional[set[int]] = None) -> int:
+        """Send an INV for a block to every neighbour (minus ``exclude``)."""
+        node = self.node
+        message = InvMessage(
+            sender=node.node_id,
+            inventory_type=InventoryType.BLOCK,
+            hashes=(block_hash,),
+        )
+        return self._network().broadcast(node.node_id, message, exclude=exclude)
+
+    # --------------------------------------------------------- INV / GETDATA
+    def handle_inv(self, sender: int, message: InvMessage) -> None:
+        node = self.node
+        node.stats.invs_received += 1
+        network = self._network()
+        if message.inventory_type is InventoryType.TRANSACTION:
+            unknown, stale = self._classify(
+                message.hashes, node.known_transactions, self.pending_tx_requests
+            )
+            to_request = unknown + stale
+            if not to_request:
+                node.stats.duplicate_invs += 1
+                return
+            now = self._now
+            for txid in unknown:
+                node.transaction_first_seen_times.setdefault(txid, now)
+            self.pending_tx_requests.update((txid, now) for txid in to_request)
+            node.stats.getdata_sent += 1
+            network.send(
+                node.node_id,
+                sender,
+                GetDataMessage(
+                    sender=node.node_id,
+                    inventory_type=InventoryType.TRANSACTION,
+                    hashes=tuple(to_request),
+                ),
+            )
+        else:
+            unknown, stale = self._classify(
+                message.hashes, node.known_blocks, self.pending_block_requests
+            )
+            to_request = unknown + stale
+            if not to_request:
+                node.stats.duplicate_invs += 1
+                return
+            self.request_blocks(sender, tuple(to_request))
+
+    def _classify(
+        self,
+        hashes: tuple[str, ...],
+        known: set[str],
+        pending: dict[str, float],
+    ) -> tuple[list[str], list[str]]:
+        """Split announced hashes into (never requested, stale in-flight).
+
+        A hash with a *fresh* in-flight request is suppressed — the same
+        object is never fetched from several peers at once — and counted in
+        ``stats.getdata_saved``.  A pending request older than
+        ``NodeConfig.getdata_retry_s`` is considered lost (the serving peer
+        churned away, the reply was dropped with a link) and re-issued to the
+        announcing peer, counted in ``stats.getdata_retries``.
+        """
+        node = self.node
+        retry_after = node.config.getdata_retry_s
+        now = self._now
+        unknown: list[str] = []
+        stale: list[str] = []
+        for h in hashes:
+            if h in known:
+                continue
+            requested_at = pending.get(h)
+            if requested_at is None:
+                unknown.append(h)
+            elif now - requested_at > retry_after:
+                stale.append(h)
+            else:
+                node.stats.getdata_saved += 1
+        node.stats.getdata_retries += len(stale)
+        return unknown, stale
+
+    def request_blocks(self, peer: int, hashes: tuple[str, ...]) -> None:
+        """Issue a block GETDATA to ``peer`` and mark the hashes in flight."""
+        now = self._now
+        self.pending_block_requests.update((h, now) for h in hashes)
+        self._network().send(
+            self.node.node_id,
+            peer,
+            GetDataMessage(
+                sender=self.node.node_id, inventory_type=InventoryType.BLOCK, hashes=hashes
+            ),
+        )
+
+    def handle_getdata(self, sender: int, message: GetDataMessage) -> None:
+        node = self.node
+        network = self._network()
+        if message.inventory_type is InventoryType.TRANSACTION:
+            for txid in message.hashes:
+                tx = node.mempool.get(txid)
+                if tx is None:
+                    tx = node._conflict_store.get(txid)
+                if tx is None:
+                    tx = node.find_confirmed_transaction(txid)
+                if tx is not None:
+                    network.send(node.node_id, sender, TxMessage(sender=node.node_id, transaction=tx))
+        else:
+            for block_hash in message.hashes:
+                if node.blockchain.has_block(block_hash):
+                    network.send(
+                        node.node_id,
+                        sender,
+                        BlockMessage(sender=node.node_id, block=node.blockchain.get_block(block_hash)),
+                    )
+
+    # ------------------------------------------------------------ TX / BLOCK
+    def handle_tx(self, sender: int, message: TxMessage) -> None:
+        node = self.node
+        if message.transaction is None:
+            return
+        tx = message.transaction
+        if tx.txid in node.known_transactions and tx.txid not in self.pending_tx_requests:
+            return
+        result = node.accept_transaction(tx, origin_peer=sender)
+        if not result.valid:
+            return
+        if not node.config.relay_transactions:
+            return
+        relay_delay = result.verification_cost_s if node.config.verification_enabled else 0.0
+        simulator = self._network().simulator
+        txid = tx.txid
+        simulator.schedule(
+            relay_delay,
+            lambda: self._relay_transaction(txid, exclude_peer=sender),
+            label=f"relay:{node.node_id}",
+        )
+
+    def _relay_transaction(self, txid: str, *, exclude_peer: int) -> None:
+        node = self.node
+        if txid not in node.mempool and not node.blockchain.contains_transaction(txid):
+            return
+        node.stats.transactions_relayed += 1
+        self.announce_transaction(txid, exclude={exclude_peer})
+
+    def handle_block(self, sender: int, message: BlockMessage) -> None:
+        if message.block is None:
+            return
+        self.node.accept_block(message.block, origin_peer=sender)
+
+    # -------------------------------------------------------- compact plane
+    def handle_cmpct_block(self, sender: int, message: CmpctBlockMessage) -> None:
+        """Graceful interop: a non-compact node asks for the full block."""
+        node = self.node
+        if message.header is None:
+            return
+        block_hash = message.block_hash
+        if block_hash in node.known_blocks or node.blockchain.has_block(block_hash):
+            return
+        requested_at = self.pending_block_requests.get(block_hash)
+        if requested_at is not None:
+            if self._now - requested_at <= node.config.getdata_retry_s:
+                return
+            node.stats.getdata_retries += 1
+        self.request_blocks(sender, (block_hash,))
+
+    def handle_get_block_txn(self, sender: int, message: GetBlockTxnMessage) -> None:
+        """Serve the requested block transactions (any strategy can)."""
+        node = self.node
+        if not node.blockchain.has_block(message.block_hash):
+            return
+        block = node.blockchain.get_block(message.block_hash)
+        indexes = tuple(i for i in message.indexes if 0 <= i < len(block.transactions))
+        if not indexes:
+            return
+        self._network().send(
+            node.node_id,
+            sender,
+            BlockTxnMessage(
+                sender=node.node_id,
+                block_hash=message.block_hash,
+                indexes=indexes,
+                transactions=tuple(block.transactions[i] for i in indexes),
+            ),
+        )
+
+    def handle_block_txn(self, sender: int, message: BlockTxnMessage) -> None:
+        """Only the compact strategy has reconstructions to complete."""
+
+
+class FloodRelay(RelayStrategy):
+    """The legacy INV/GETDATA/TX flood — the default, byte-identical relay."""
+
+    name = "flood"
+
+
+@dataclass
+class _Reconstruction:
+    """A compact block waiting for its missing transactions."""
+
+    header: object
+    height: int
+    slots: list[Optional[Transaction]]
+    origin: int
+    missing: set[int] = field(default_factory=set)
+    requested_at: float = 0.0
+
+
+class CompactBlockRelay(FloodRelay):
+    """BIP 152-style compact block relay (transactions still flood via INV).
+
+    An accepted block is pushed to every neighbour (minus the origin) as a
+    header plus short ids.  The receiver fills the transaction slots from its
+    mempool; fully-reconstructed blocks are accepted immediately, otherwise
+    the missing indexes are fetched with one GETBLOCKTXN round-trip.  If the
+    reconstruction still cannot be completed — the serving peer lost the
+    block, or a short-id collision corrupted a slot (detected by Merkle-root
+    mismatch) — the node falls back to a plain full-block GETDATA.
+    """
+
+    name = "compact"
+
+    def __init__(self, node: "BitcoinNode") -> None:
+        super().__init__(node)
+        #: Partially-reconstructed blocks: block hash -> reconstruction state.
+        self._reconstructions: dict[str, _Reconstruction] = {}
+
+    def on_offline(self) -> None:
+        super().on_offline()
+        self._reconstructions.clear()
+
+    def note_block_received(self, block_hash: str) -> None:
+        super().note_block_received(block_hash)
+        self._reconstructions.pop(block_hash, None)
+
+    # --------------------------------------------------------- announcement
+    def announce_block(self, block_hash: str, *, exclude: Optional[set[int]] = None) -> int:
+        node = self.node
+        block = node.blockchain.get_block(block_hash)
+        message = CmpctBlockMessage(
+            sender=node.node_id,
+            header=block.header,
+            height=block.height,
+            short_ids=tuple(short_txid(tx.txid) for tx in block.transactions[1:]),
+            coinbase=block.transactions[0] if block.transactions else None,
+        )
+        return self._network().broadcast(node.node_id, message, exclude=exclude)
+
+    # ------------------------------------------------------- reconstruction
+    def handle_cmpct_block(self, sender: int, message: CmpctBlockMessage) -> None:
+        node = self.node
+        if message.header is None:
+            return
+        node.stats.compact_blocks_received += 1
+        block_hash = message.block_hash
+        if block_hash in node.known_blocks or node.blockchain.has_block(block_hash):
+            return
+        # An in-flight reconstruction or full-block fetch suppresses duplicate
+        # announcements — unless it has gone stale (the serving peer churned
+        # away mid-round-trip), in which case this fresh announcement takes
+        # over, mirroring the flood path's GETDATA retry.
+        now = self._now
+        retry_after = node.config.getdata_retry_s
+        pending = self._reconstructions.get(block_hash)
+        if pending is not None:
+            if now - pending.requested_at <= retry_after:
+                return
+            del self._reconstructions[block_hash]
+            node.stats.getdata_retries += 1
+        requested_at = self.pending_block_requests.get(block_hash)
+        if requested_at is not None:
+            if now - requested_at <= retry_after:
+                return
+            # The dead full-block request is superseded by this announcement;
+            # drop it so it cannot count as stale again on the next one.
+            del self.pending_block_requests[block_hash]
+            node.stats.getdata_retries += 1
+        if message.coinbase is None:
+            # Unreconstructable announcement; fetch the full block instead.
+            self.request_blocks(sender, (block_hash,))
+            return
+        slots: list[Optional[Transaction]] = [None] * (len(message.short_ids) + 1)
+        slots[0] = message.coinbase
+        index = self._short_id_index()
+        missing: list[int] = []
+        for position, sid in enumerate(message.short_ids, start=1):
+            tx = index.get(sid)
+            if tx is not None:
+                slots[position] = tx
+            else:
+                missing.append(position)
+        if missing:
+            self._reconstructions[block_hash] = _Reconstruction(
+                header=message.header,
+                height=message.height,
+                slots=slots,
+                origin=sender,
+                missing=set(missing),
+                requested_at=now,
+            )
+            node.stats.compact_txs_requested += len(missing)
+            self._network().send(
+                node.node_id,
+                sender,
+                GetBlockTxnMessage(
+                    sender=node.node_id,
+                    block_hash=block_hash,
+                    indexes=tuple(missing),
+                ),
+            )
+            return
+        self._complete(block_hash, message.header, message.height, slots, origin=sender)
+
+    def _short_id_index(self) -> dict[str, Transaction]:
+        """Short id -> transaction over everything reconstructible locally.
+
+        Short-id collisions inside the mempool resolve arbitrarily; the
+        Merkle check in :meth:`_complete` catches a wrong pick and falls back
+        to a full-block fetch, exactly like BIP 152 prescribes.
+        """
+        return {short_txid(tx.txid): tx for tx in self.node.mempool.transactions()}
+
+    def handle_block_txn(self, sender: int, message: BlockTxnMessage) -> None:
+        pending = self._reconstructions.get(message.block_hash)
+        if pending is None:
+            return
+        for position, tx in zip(message.indexes, message.transactions):
+            if 0 <= position < len(pending.slots):
+                pending.slots[position] = tx
+                pending.missing.discard(position)
+        if pending.missing:
+            # The server could not provide everything; fall back.
+            self._fallback(message.block_hash, pending.origin)
+            return
+        del self._reconstructions[message.block_hash]
+        self._complete(
+            message.block_hash, pending.header, pending.height, pending.slots, origin=pending.origin
+        )
+
+    def _complete(
+        self,
+        block_hash: str,
+        header: object,
+        height: int,
+        slots: list[Optional[Transaction]],
+        *,
+        origin: int,
+    ) -> None:
+        node = self.node
+        transactions = tuple(tx for tx in slots if tx is not None)
+        if len(transactions) != len(slots) or merkle_root(transactions) != header.merkle_root:
+            # A short-id collision filled a slot with the wrong transaction.
+            self._fallback(block_hash, origin)
+            return
+        block = Block(header=header, transactions=transactions, height=height)
+        node.stats.compact_blocks_reconstructed += 1
+        node.accept_block(block, origin_peer=origin)
+
+    def _fallback(self, block_hash: str, origin: int) -> None:
+        node = self.node
+        self._reconstructions.pop(block_hash, None)
+        node.stats.compact_fallbacks += 1
+        if not node.blockchain.has_block(block_hash):
+            self.request_blocks(origin, (block_hash,))
+
+
+class PushRelay(FloodRelay):
+    """Unsolicited full-block push over cluster links (Bitcoin-XT style).
+
+    Intra-cluster links are latency-picked by the clustering policy, so
+    skipping the INV/GETDATA round-trip there buys the biggest Δt win per
+    redundant byte; links outside the cluster (long maintenance links, the
+    whole overlay under the vanilla policy) keep the polite INV announcement.
+    """
+
+    name = "push"
+
+    def announce_block(self, block_hash: str, *, exclude: Optional[set[int]] = None) -> int:
+        node = self.node
+        network = self._network()
+        excluded = exclude or set()
+        topology = network.topology
+        cluster_peers: list[int] = []
+        inv_peers: list[int] = []
+        for peer in network.neighbors(node.node_id):
+            if peer in excluded:
+                continue
+            if topology.link(node.node_id, peer).is_cluster_link:
+                cluster_peers.append(peer)
+            else:
+                inv_peers.append(peer)
+        count = 0
+        if cluster_peers:
+            block = node.blockchain.get_block(block_hash)
+            pushed = network.multicast(
+                node.node_id,
+                cluster_peers,
+                BlockMessage(sender=node.node_id, block=block),
+            )
+            node.stats.blocks_pushed += pushed
+            count += pushed
+        if inv_peers:
+            count += network.multicast(
+                node.node_id,
+                inv_peers,
+                InvMessage(
+                    sender=node.node_id,
+                    inventory_type=InventoryType.BLOCK,
+                    hashes=(block_hash,),
+                ),
+            )
+        return count
+
+
+#: Relay strategies selectable by name (``NodeConfig.relay_strategy``).
+RELAY_STRATEGIES: dict[str, type[RelayStrategy]] = {
+    FloodRelay.name: FloodRelay,
+    CompactBlockRelay.name: CompactBlockRelay,
+    PushRelay.name: PushRelay,
+}
+
+#: Relay names accepted by :func:`build_relay_strategy` / ``build_scenario``.
+RELAY_NAMES = tuple(RELAY_STRATEGIES)
+
+
+def validate_relay_name(name: str) -> str:
+    """Check a relay-strategy name and return it.
+
+    Raises:
+        ValueError: for an unknown relay name.
+    """
+    if name not in RELAY_STRATEGIES:
+        raise ValueError(f"unknown relay strategy {name!r}; expected one of {RELAY_NAMES}")
+    return name
+
+
+def build_relay_strategy(name: str, node: "BitcoinNode") -> RelayStrategy:
+    """Construct the named relay strategy bound to ``node``."""
+    return RELAY_STRATEGIES[validate_relay_name(name)](node)

@@ -14,17 +14,20 @@ from repro.workloads.generators import TransactionWorkload, WorkloadConfig, fund
 from repro.workloads.network_gen import NetworkParameters, SimulatedNetwork, build_network
 from repro.workloads.scenarios import (
     POLICY_NAMES,
+    RELAY_NAMES,
     ChurnSchedule,
     Scenario,
     build_policy,
     build_scenario,
     validate_policy_name,
+    validate_relay_name,
 )
 
 __all__ = [
     "ChurnSchedule",
     "NetworkParameters",
     "POLICY_NAMES",
+    "RELAY_NAMES",
     "Scenario",
     "SimulatedNetwork",
     "TransactionWorkload",
@@ -34,4 +37,5 @@ __all__ = [
     "build_scenario",
     "fund_nodes",
     "validate_policy_name",
+    "validate_relay_name",
 ]

@@ -3,7 +3,11 @@
 A :class:`Scenario` bundles a freshly-built network with a constructed
 neighbour-selection policy and the build report of its topology.  Experiments,
 benchmarks and examples use :func:`build_scenario` so they all agree on what
-"run protocol X on a network of N nodes with seed S" means.
+"run protocol X on a network of N nodes with seed S" means.  The relay
+protocol is an independent axis: ``build_scenario(..., relay="compact")``
+makes every node run the named
+:class:`~repro.protocol.relay.RelayStrategy` instead of the default
+INV/GETDATA flood.
 
 Dynamic membership
 ------------------
@@ -30,10 +34,22 @@ from repro.core.maintenance import ChurnMaintainer
 from repro.core.policy import NeighbourPolicy, TopologyBuildReport
 from repro.core.random_topology import RandomNeighbourPolicy, RandomPolicyConfig
 from repro.net.churn import SessionParameters
+from repro.protocol.relay import RELAY_NAMES, validate_relay_name
 from repro.workloads.network_gen import NetworkParameters, SimulatedNetwork, build_network
 
 #: Protocol names accepted by :func:`build_policy` / :func:`build_scenario`.
 POLICY_NAMES = ("bitcoin", "lbc", "bcbpt")
+
+__all__ = [
+    "POLICY_NAMES",
+    "RELAY_NAMES",
+    "ChurnSchedule",
+    "Scenario",
+    "build_policy",
+    "build_scenario",
+    "validate_policy_name",
+    "validate_relay_name",
+]
 
 
 def validate_policy_name(name: str) -> str:
@@ -216,6 +232,7 @@ def build_scenario(
     latency_threshold_s: Optional[float] = None,
     max_outbound: int = 8,
     churn: Optional[ChurnSchedule] = None,
+    relay: Optional[str] = None,
 ) -> Scenario:
     """Build a network, run the policy's topology construction, return both.
 
@@ -234,9 +251,18 @@ def build_scenario(
             session model follows the schedule, and every node resynchronises
             chain/mempool inventory when it reconnects after downtime
             (``NodeConfig.resync_on_reconnect``).
+        relay: relay-strategy name every node runs (one of
+            :data:`~repro.protocol.relay.RELAY_NAMES`); None keeps whatever
+            ``parameters.node_config.relay_strategy`` says (the ``"flood"``
+            baseline by default).
     """
     validate_policy_name(policy_name)
     params = parameters if parameters is not None else NetworkParameters()
+    if relay is not None:
+        validate_relay_name(relay)
+        params = params.with_overrides(
+            node_config=replace(params.node_config, relay_strategy=relay)
+        )
     if churn is not None:
         # Dynamic membership: session lengths follow the schedule, and nodes
         # exchange tip/mempool inventory on reconnect so rejoining peers

@@ -29,6 +29,7 @@ EXPECTED_NAMES = [
     "doublespend",
     "ablation",
     "churn_resilience",
+    "relay_comparison",
     "validation",
 ]
 
@@ -38,7 +39,7 @@ SMALL = ExperimentConfig(
 
 
 class TestRegistry:
-    def test_all_nine_experiments_registered(self):
+    def test_all_experiments_registered(self):
         assert experiment_names() == EXPECTED_NAMES
         assert len(EXPECTED_NAMES) == len(DRIVER_MODULES)
 

@@ -38,6 +38,11 @@ TINY_ARGS = {
         "--nodes", "40", "--runs", "1", "--seeds", "3", "--measuring-nodes", "1",
         "--levels", "static", "heavy",
     ],
+    "relay_comparison": [
+        "--nodes", "20", "--runs", "1", "--seeds", "3", "--measuring-nodes", "1",
+        "--relays", "flood", "compact", "--protocols", "bitcoin", "bcbpt",
+        "--blocks", "1", "--txs-per-block", "2",
+    ],
     "validation": [
         "--nodes", "40", "--runs", "2", "--seeds", "3", "--measuring-nodes", "1",
         "--crawler-samples", "500",

@@ -1,0 +1,120 @@
+"""Tests for the relay-comparison experiment and the FloodRelay equivalence.
+
+The golden fingerprints below were captured from the pre-strategy code (the
+relay plane hardcoded in ``BitcoinNode``) on the exact configuration used
+here.  They prove the extraction is behaviour-preserving: the default
+``flood`` strategy must keep reproducing the Fig. 3 Δt sample streams
+byte-for-byte, for the serial path and under parallel fan-out alike.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.experiments.api import get_experiment, run_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.relay_comparison import (
+    RELAY_PROTOCOLS,
+    RELAY_SWEEP,
+    build_report,
+    compact_beats_flood,
+    run_relay_comparison,
+)
+from repro.experiments.runner import run_protocol_comparison
+
+#: sha256 over the comma-joined ``repr`` of every pooled Δt sample, captured
+#: on commit b5f48fd (pre-RelayStrategy) with the GOLDEN_CONFIG below.
+GOLDEN_FIG3_DIGESTS = {
+    "bitcoin": "aedb16d62d7617f67751084501cbfd74632d9e5af8322caa365f0c40621a8286",
+    "lbc": "c0657cee0303a0131d49594e28b761be79e7a13d7a6ae9438f445d9861b34f9b",
+    "bcbpt": "781bbeb05fd4a1ec98ea0523a55221543af690ff5ca7f2ad367a8142060cfb57",
+}
+
+GOLDEN_CONFIG = ExperimentConfig(
+    node_count=40, runs=2, seeds=(5,), measuring_nodes=2, run_timeout_s=30.0
+)
+
+SMALL = ExperimentConfig(
+    node_count=30, runs=1, seeds=(3,), measuring_nodes=1, run_timeout_s=30.0
+)
+
+
+def _digest(samples) -> str:
+    return hashlib.sha256(",".join(repr(s) for s in samples).encode()).hexdigest()
+
+
+class TestFloodEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_default_relay_reproduces_pre_strategy_fig3_exactly(self, workers):
+        results = run_protocol_comparison(
+            ("bitcoin", "lbc", "bcbpt"), GOLDEN_CONFIG.with_overrides(workers=workers)
+        )
+        for name, expected in GOLDEN_FIG3_DIGESTS.items():
+            assert _digest(results[name].delays.samples) == expected, (
+                f"{name} (workers={workers}) diverged from the pre-strategy baseline"
+            )
+
+
+class TestRelayComparisonExperiment:
+    def test_registered_with_spec(self):
+        spec = get_experiment("relay_comparison")
+        assert spec.experiment_id == "Ext-7"
+        assert spec.exit_verdict == "compact_fewer_messages_per_block"
+        assert {o.dest for o in spec.options} >= {"relays", "protocols", "blocks"}
+
+    def test_runs_and_reports(self):
+        results = run_relay_comparison(
+            SMALL, relays=("flood", "compact"), protocols=("bitcoin",), blocks=1,
+            txs_per_block=3,
+        )
+        assert set(results) == {"flood/bitcoin", "compact/bitcoin"}
+        for result in results.values():
+            assert result.blocks_measured == 1
+            assert result.mean_coverage() == 1.0
+            assert len(result.delays) == SMALL.node_count - 1
+        assert (
+            results["compact/bitcoin"].messages_per_block()
+            < results["flood/bitcoin"].messages_per_block()
+        )
+        report = build_report(results)
+        text = report.render()
+        assert "Ext-7" in text
+        assert "msgs/block" in text
+
+    def test_worker_count_invariance(self):
+        kwargs = dict(relays=("flood", "compact"), protocols=("bitcoin",), blocks=1,
+                      txs_per_block=2)
+        serial = run_relay_comparison(SMALL.with_overrides(workers=1), **kwargs)
+        parallel = run_relay_comparison(SMALL.with_overrides(workers=2), **kwargs)
+        for key in serial:
+            assert serial[key].delays.samples == parallel[key].delays.samples
+            assert serial[key].relay_messages == parallel[key].relay_messages
+            assert serial[key].relay_bytes == parallel[key].relay_bytes
+
+    def test_envelope_and_verdicts(self):
+        run = run_experiment(
+            "relay_comparison",
+            SMALL,
+            {"relays": ("flood", "compact"), "protocols": ("bitcoin",), "blocks": 1,
+             "txs_per_block": 3},
+        )
+        assert run.verdicts["compact_fewer_messages_per_block"]
+        assert "compact/bitcoin" in run.summaries
+        assert run.summaries["compact/bitcoin"]["messages_per_block"] > 0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError, match="unknown relay strategy"):
+            run_relay_comparison(SMALL, relays=("gossip",))
+        with pytest.raises(ValueError, match="blocks"):
+            run_relay_comparison(SMALL, blocks=0)
+        with pytest.raises(ValueError, match="block_horizon_s"):
+            run_relay_comparison(SMALL, block_horizon_s=0.0)
+        with pytest.raises(ValueError, match="unknown policy"):
+            run_relay_comparison(SMALL, protocols=("bitcion",))
+
+    def test_default_sweep_constants(self):
+        assert RELAY_SWEEP == ("flood", "compact", "push")
+        assert RELAY_PROTOCOLS == ("bitcoin", "lbc", "bcbpt")
+
+    def test_compact_beats_flood_requires_a_pair(self):
+        assert not compact_beats_flood({}, lambda r: 0)

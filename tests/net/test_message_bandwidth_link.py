@@ -9,6 +9,9 @@ from repro.net.latency import LatencyModel, LatencyParameters
 from repro.net.link import Link, LinkDelayCalculator
 from repro.net.message import (
     ADDR_ENTRY_BYTES,
+    BLOCK_HEADER_BYTES,
+    BLOCK_TXN_INDEX_BYTES,
+    BLOCK_TXN_REQUEST_BYTES,
     HEADER_BYTES,
     INV_ENTRY_BYTES,
     WireMessage,
@@ -62,6 +65,37 @@ class TestMessageSizes:
     def test_wire_message_rejects_sub_header_size(self):
         with pytest.raises(ValueError):
             WireMessage("inv", HEADER_BYTES - 1)
+
+    def test_cmpctblock_uses_payload_bytes(self):
+        assert message_size_bytes("cmpctblock", 500) == HEADER_BYTES + 500
+        assert message_size_bytes("cmpctblock") == HEADER_BYTES + BLOCK_HEADER_BYTES
+
+    def test_cmpctblock_smaller_than_header_rejected(self):
+        with pytest.raises(ValueError):
+            message_size_bytes("cmpctblock", BLOCK_HEADER_BYTES - 1)
+
+    def test_getblocktxn_scales_with_index_count(self):
+        one = message_size_bytes("getblocktxn", 1)
+        ten = message_size_bytes("getblocktxn", 10)
+        assert one == HEADER_BYTES + BLOCK_TXN_REQUEST_BYTES + BLOCK_TXN_INDEX_BYTES
+        assert ten - one == 9 * BLOCK_TXN_INDEX_BYTES
+        with pytest.raises(ValueError):
+            message_size_bytes("getblocktxn", -1)
+
+    def test_blocktxn_uses_transaction_bytes(self):
+        assert message_size_bytes("blocktxn", 700) == (
+            HEADER_BYTES + BLOCK_TXN_REQUEST_BYTES + 700
+        )
+        with pytest.raises(ValueError):
+            message_size_bytes("blocktxn", -1)
+
+    def test_compact_announcement_is_much_smaller_than_block(self):
+        """The whole point of compact relay: header + short ids << full block."""
+        block_bytes = 1_000_000
+        compact_bytes = BLOCK_HEADER_BYTES + 2000 * 6 + 258
+        assert message_size_bytes("cmpctblock", compact_bytes) < (
+            message_size_bytes("block", block_bytes) / 50
+        )
 
 
 class TestBandwidthModel:

@@ -1,22 +1,75 @@
 """Tests for the protocol message vocabulary."""
 
+import pickle
+
+import pytest
+
 from repro.protocol.crypto import KeyPair
 from repro.protocol.block import Block
 from repro.protocol.messages import (
     AddrMessage,
     BlockMessage,
+    BlockTxnMessage,
     ClusterMembersMessage,
+    CmpctBlockMessage,
+    GetAddrMessage,
+    GetBlockTxnMessage,
     GetDataMessage,
     InvMessage,
     InventoryType,
     JoinAcceptMessage,
     JoinMessage,
     PingMessage,
+    PongMessage,
+    SHORT_ID_HEX_CHARS,
     TxMessage,
+    VerackMessage,
     VersionMessage,
+    short_txid,
 )
 from repro.protocol.transaction import Transaction
 from repro.net.message import message_size_bytes
+
+
+def _sample_block():
+    keypair = KeyPair.generate("msg-tests")
+    coinbase = Transaction.coinbase(keypair.address, 100, tag="sample")
+    return Block.create(
+        Block.genesis(), [coinbase], timestamp=1.0, nonce=7, miner_id=3
+    )
+
+
+def _every_message():
+    """One populated instance of every concrete message type."""
+    keypair = KeyPair.generate("msg-tests")
+    tx = Transaction.coinbase(keypair.address, 10, tag="rt")
+    block = _sample_block()
+    return [
+        VersionMessage(sender=1),
+        VerackMessage(sender=1),
+        PingMessage(sender=1, nonce=9),
+        PongMessage(sender=1, nonce=9),
+        GetAddrMessage(sender=1),
+        AddrMessage(sender=1, addresses=(2, 3)),
+        InvMessage(sender=1, inventory_type=InventoryType.BLOCK, hashes=("a", "b")),
+        GetDataMessage(sender=1, hashes=("a",)),
+        TxMessage(sender=1, transaction=tx),
+        BlockMessage(sender=1, block=block),
+        CmpctBlockMessage(
+            sender=1,
+            header=block.header,
+            height=block.height,
+            short_ids=(short_txid(tx.txid),),
+            coinbase=block.transactions[0],
+        ),
+        GetBlockTxnMessage(sender=1, block_hash=block.block_hash, indexes=(1, 2)),
+        BlockTxnMessage(
+            sender=1, block_hash=block.block_hash, indexes=(1,), transactions=(tx,)
+        ),
+        JoinMessage(sender=1, measured_rtt_s=0.02),
+        JoinAcceptMessage(sender=1, cluster_id=4),
+        ClusterMembersMessage(sender=1, cluster_id=4, members=(5, 6)),
+    ]
 
 
 class TestMessageBasics:
@@ -78,3 +131,72 @@ class TestWirePayloads:
 
     def test_inv_defaults_to_transaction_type(self):
         assert InvMessage(sender=0).inventory_type is InventoryType.TRANSACTION
+
+    def test_cmpctblock_payload_counts_header_shortids_coinbase(self):
+        block = _sample_block()
+        coinbase = block.transactions[0]
+        message = CmpctBlockMessage(
+            sender=0,
+            header=block.header,
+            height=1,
+            short_ids=("a" * SHORT_ID_HEX_CHARS,) * 3,
+            coinbase=coinbase,
+        )
+        assert message.wire_payload() == 80 + 3 * 6 + coinbase.size_bytes
+        assert message.block_hash == block.block_hash
+
+    def test_cmpctblock_without_header_has_no_hash(self):
+        with pytest.raises(ValueError):
+            CmpctBlockMessage(sender=0).block_hash
+
+    def test_getblocktxn_payload_is_index_count(self):
+        assert GetBlockTxnMessage(sender=0, indexes=(1, 4, 9)).wire_payload() == 3
+
+    def test_blocktxn_payload_is_transaction_bytes(self):
+        keypair = KeyPair.generate("w2")
+        tx = Transaction.coinbase(keypair.address, 10)
+        message = BlockTxnMessage(sender=0, indexes=(1,), transactions=(tx,))
+        assert message.wire_payload() == tx.size_bytes
+
+    def test_short_txid_is_fixed_prefix(self):
+        txid = "ab" * 32
+        assert short_txid(txid) == txid[:SHORT_ID_HEX_CHARS]
+        assert len(short_txid(txid)) == SHORT_ID_HEX_CHARS
+
+
+class TestSerializationRoundTrips:
+    """Every message survives the worker-pool trip (pickle) unchanged."""
+
+    @pytest.mark.parametrize(
+        "message", _every_message(), ids=lambda m: type(m).__name__
+    )
+    def test_pickle_round_trip_preserves_identity(self, message):
+        restored = pickle.loads(pickle.dumps(message))
+        assert restored == message  # field-wise equality (message_id excluded)
+        assert restored.message_id == message.message_id
+        assert restored.command == message.command
+        assert restored.wire_payload() == message.wire_payload()
+        assert (
+            message_size_bytes(restored.command, restored.wire_payload())
+            == message_size_bytes(message.command, message.wire_payload())
+        )
+
+    def test_compact_round_trip_reassembles_block(self):
+        """The compact message carries everything needed to rebuild the block
+        once the short ids are resolved against a mempool."""
+        block = _sample_block()
+        message = CmpctBlockMessage(
+            sender=0,
+            header=block.header,
+            height=block.height,
+            short_ids=tuple(short_txid(tx.txid) for tx in block.transactions[1:]),
+            coinbase=block.transactions[0],
+        )
+        restored = pickle.loads(pickle.dumps(message))
+        rebuilt = Block(
+            header=restored.header,
+            transactions=(restored.coinbase, *block.transactions[1:]),
+            height=restored.height,
+        )
+        assert rebuilt.block_hash == block.block_hash
+        assert rebuilt == block

@@ -263,6 +263,63 @@ class TestTransactionRelay:
         simulator.run(until=5.0)
         assert network.messages_sent.get("tx", 0) == tx_before
 
+    def test_getdata_served_from_best_chain_after_confirmation(self):
+        from repro.protocol.mining import MiningProcess, equal_hash_power
+
+        simulated = build_connected_network()
+        node = simulated.node(0)
+        tx = node.create_transaction([("dest", 700)])
+        simulated.simulator.run(until=30.0)
+        MiningProcess(
+            simulated.simulator,
+            simulated.nodes,
+            equal_hash_power([0]),
+            simulated.simulator.random.stream("mining"),
+        ).mine_one_block(winner_id=0)
+        simulated.simulator.run(until=90.0)
+        assert tx.txid not in node.mempool
+        assert node.find_confirmed_transaction(tx.txid) == tx
+        before = simulated.network.messages_sent.get("tx", 0)
+        simulated.network.send(1, 0, GetDataMessage(sender=1, hashes=(tx.txid,)))
+        simulated.simulator.run(until=100.0)
+        assert simulated.network.messages_sent["tx"] == before + 1
+
+
+class TestGetAddrPaths:
+    def test_getaddr_reply_capped_at_sample_size(self):
+        config = NodeConfig(addr_sample_size=4)
+        simulated = build_connected_network(node_config=config)
+        responder = simulated.node(1)
+        responder.address_book.update(range(2, 12))
+        before = set(simulated.node(0).address_book)
+        simulated.network.send(0, 1, GetAddrMessage(sender=0))
+        simulated.simulator.run(until=5.0)
+        # The requester learns at most addr_sample_size new addresses.
+        learned = set(simulated.node(0).address_book) - before
+        assert 1 <= len(learned) <= 4
+
+    def test_getaddr_reply_excludes_the_requester(self):
+        simulated = build_connected_network()
+        responder = simulated.node(1)
+        responder.address_book.update({0, 5, 6})
+        simulated.network.send(0, 1, GetAddrMessage(sender=0))
+        simulated.simulator.run(until=5.0)
+        assert 0 not in simulated.node(0).address_book
+
+    def test_getaddr_with_empty_address_book_sends_empty_addr(self):
+        simulated = build_connected_network()
+        responder = simulated.node(1)
+        responder.address_book.clear()
+        before = simulated.network.messages_sent.get("addr", 0)
+        simulated.network.send(0, 1, GetAddrMessage(sender=0))
+        simulated.simulator.run(until=5.0)
+        assert simulated.network.messages_sent["addr"] == before + 1
+
+    def test_connection_populates_address_books_both_ways(self):
+        simulated = build_connected_network()
+        assert 1 in simulated.node(0).address_book
+        assert 0 in simulated.node(1).address_book
+
 
 class TestBlockRelay:
     def test_mined_block_propagates(self):

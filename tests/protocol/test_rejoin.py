@@ -105,11 +105,11 @@ class TestLeaveRejoinConvergence:
         maintainer = scenario.maintainer
         leaver = scenario.network.node_ids()[-1]
         node = scenario.network.node(leaver)
-        node._pending_tx_requests.add("deadbeef")
-        node._pending_block_requests.add("cafebabe")
+        node.relay.pending_tx_requests["deadbeef"] = 0.0
+        node.relay.pending_block_requests["cafebabe"] = 0.0
         maintainer._handle_leave(leaver)
-        assert not node._pending_tx_requests
-        assert not node._pending_block_requests
+        assert not node.relay.pending_tx_requests
+        assert not node.relay.pending_block_requests
         assert node.stats.sessions_ended == 1
 
 

@@ -1,0 +1,374 @@
+"""Tests for the pluggable relay strategies (flood / compact / push).
+
+Covers the strategy registry, compact-block reconstruction (mempool hit,
+GETBLOCKTXN round-trip, Merkle-mismatch fallback), unsolicited cluster push,
+the cross-peer GETDATA dedup with timeout-based retry, and the bounded
+orphan-block pool.
+"""
+
+import pytest
+
+from repro.protocol.block import Block
+from repro.protocol.messages import (
+    BlockMessage,
+    CmpctBlockMessage,
+    InvMessage,
+    InventoryType,
+    short_txid,
+)
+from repro.protocol.mining import MiningProcess, equal_hash_power
+from repro.protocol.node import NodeConfig
+from repro.protocol.relay import (
+    RELAY_NAMES,
+    RELAY_STRATEGIES,
+    CompactBlockRelay,
+    FloodRelay,
+    PushRelay,
+    build_relay_strategy,
+    validate_relay_name,
+)
+from repro.protocol.transaction import Transaction
+from repro.workloads.generators import fund_nodes
+from repro.workloads.network_gen import NetworkParameters, build_network
+
+FAKE_HASH = "f" * 64
+
+
+def build_ring(node_count=10, seed=2, relay="flood", **config_kwargs):
+    """A small funded network wired as a ring with chords."""
+    config = NodeConfig(relay_strategy=relay, **config_kwargs)
+    params = NetworkParameters(node_count=node_count, seed=seed, node_config=config)
+    simulated = build_network(params)
+    network = simulated.network
+    ids = simulated.node_ids()
+    for index, node_id in enumerate(ids):
+        network.connect(node_id, ids[(index + 1) % len(ids)])
+        network.connect(node_id, ids[(index + 3) % len(ids)])
+    fund_nodes(list(simulated.nodes.values()), outputs_per_node=3)
+    return simulated
+
+
+def mine_at(simulated, winner_id):
+    """Mine one block at ``winner_id`` from its own mempool."""
+    mining = MiningProcess(
+        simulated.simulator,
+        simulated.nodes,
+        equal_hash_power(simulated.node_ids()),
+        simulated.simulator.random.stream("mining"),
+    )
+    block = mining.mine_one_block(winner_id=winner_id)
+    assert block is not None
+    return block
+
+
+class TestRegistry:
+    def test_relay_names(self):
+        assert RELAY_NAMES == ("flood", "compact", "push")
+        assert set(RELAY_STRATEGIES) == set(RELAY_NAMES)
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown relay strategy"):
+            validate_relay_name("gossip")
+
+    def test_node_builds_configured_strategy(self):
+        for name, cls in (("flood", FloodRelay), ("compact", CompactBlockRelay), ("push", PushRelay)):
+            simulated = build_network(
+                NetworkParameters(node_count=2, seed=1, node_config=NodeConfig(relay_strategy=name))
+            )
+            assert type(simulated.node(0).relay) is cls
+            assert simulated.node(0).relay.node is simulated.node(0)
+
+    def test_unknown_strategy_fails_at_construction(self):
+        with pytest.raises(ValueError, match="unknown relay strategy"):
+            build_network(
+                NetworkParameters(
+                    node_count=2, seed=1, node_config=NodeConfig(relay_strategy="bogus")
+                )
+            )
+
+    def test_build_relay_strategy_binds_node(self):
+        simulated = build_network(NetworkParameters(node_count=2, seed=1))
+        strategy = build_relay_strategy("compact", simulated.node(1))
+        assert isinstance(strategy, CompactBlockRelay)
+        assert strategy.node is simulated.node(1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NodeConfig(getdata_retry_s=0.0)
+        with pytest.raises(ValueError):
+            NodeConfig(max_orphan_blocks=0)
+
+
+class TestCompactRelay:
+    def test_block_reconstructed_from_mempool_without_fetch(self):
+        simulated = build_ring(relay="compact")
+        tx = simulated.node(0).create_transaction([("dest", 500)])
+        simulated.simulator.run(until=30.0)  # tx floods to every mempool
+        mine_at(simulated, 0)
+        simulated.simulator.run(until=90.0)
+        network = simulated.network
+        assert all(n.blockchain.height == 2 for n in simulated.nodes.values())
+        assert all(n.blockchain.contains_transaction(tx.txid) for n in simulated.nodes.values())
+        assert network.messages_sent["cmpctblock"] > 0
+        assert network.messages_sent.get("block", 0) == 0
+        assert network.messages_sent.get("getblocktxn", 0) == 0
+        reconstructed = sum(n.stats.compact_blocks_reconstructed for n in simulated.nodes.values())
+        assert reconstructed == simulated.node_count - 1
+
+    def test_missing_transactions_fetched_with_getblocktxn(self):
+        simulated = build_ring(relay="compact")
+        # The transaction stays local to the miner: nobody else can
+        # reconstruct the block without the GETBLOCKTXN round-trip.
+        tx = simulated.node(0).create_transaction([("dest", 500)], broadcast=False)
+        mine_at(simulated, 0)
+        simulated.simulator.run(until=90.0)
+        network = simulated.network
+        assert all(n.blockchain.height == 2 for n in simulated.nodes.values())
+        assert all(n.blockchain.contains_transaction(tx.txid) for n in simulated.nodes.values())
+        assert network.messages_sent["getblocktxn"] > 0
+        assert network.messages_sent["blocktxn"] > 0
+        fetched = sum(n.stats.compact_txs_requested for n in simulated.nodes.values())
+        assert fetched >= simulated.node_count - 1
+
+    def test_coinbase_only_block_needs_no_fetch(self):
+        simulated = build_ring(relay="compact")
+        mine_at(simulated, 3)
+        simulated.simulator.run(until=90.0)
+        assert all(n.blockchain.height == 2 for n in simulated.nodes.values())
+        assert simulated.network.messages_sent.get("getblocktxn", 0) == 0
+
+    def test_merkle_mismatch_falls_back_to_full_block(self):
+        simulated = build_ring(relay="compact")
+        receiver = simulated.node(1)
+        block = mine_at(simulated, 0)
+        # Corrupt a reconstruction slot: a short-id collision picked the
+        # wrong transaction, which only the Merkle check can catch.
+        wrong = Transaction.coinbase(receiver.keypair.address, 7, tag="wrong")
+        strategy = receiver.relay
+        strategy._complete(
+            block.block_hash,
+            block.header,
+            block.height,
+            [block.transactions[0], wrong],
+            origin=0,
+        )
+        assert receiver.stats.compact_fallbacks == 1
+        assert block.block_hash in strategy.pending_block_requests
+        simulated.simulator.run(until=60.0)
+        # The fallback GETDATA fetched the real block from the miner.
+        assert receiver.blockchain.has_block(block.block_hash)
+
+    def test_flood_node_fetches_full_block_on_cmpctblock(self):
+        """Graceful interop: a flood node treats CMPCTBLOCK as an announcement."""
+        simulated = build_ring(relay="flood")
+        block = mine_at(simulated, 0)
+        message = CmpctBlockMessage(
+            sender=0,
+            header=block.header,
+            height=block.height,
+            short_ids=tuple(short_txid(tx.txid) for tx in block.transactions[1:]),
+            coinbase=block.transactions[0],
+        )
+        network = simulated.network
+        network.send(0, 1, message)
+        simulated.simulator.run(until=30.0)
+        assert simulated.node(1).blockchain.has_block(block.block_hash)
+
+    def test_reconstruction_state_dropped_on_offline(self):
+        simulated = build_ring(relay="compact")
+        strategy = simulated.node(2).relay
+        strategy._reconstructions["deadbeef"] = object()
+        simulated.network.set_online(2, False)
+        assert not strategy._reconstructions
+
+    def test_stale_reconstruction_retried_from_new_announcer(self):
+        """A GETBLOCKTXN round-trip that never completes (the serving peer
+        churned away) must not suppress later announcements forever."""
+        simulated = build_ring(relay="compact", getdata_retry_s=5.0)
+        receiver = simulated.node(1)
+        # The block's transaction is unknown to the receiver, forcing the
+        # GETBLOCKTXN round-trip.
+        simulated.node(0).create_transaction([("dest", 500)], broadcast=False)
+        block = mine_at(simulated, 0)
+        message = CmpctBlockMessage(
+            sender=0,
+            header=block.header,
+            height=block.height,
+            short_ids=tuple(short_txid(tx.txid) for tx in block.transactions[1:]),
+            coinbase=block.transactions[0],
+        )
+        # First announcement arrives from a peer that will never answer the
+        # fetch (node 9 does not have the block).
+        receiver.relay.handle_cmpct_block(9, message)
+        assert block.block_hash in receiver.relay._reconstructions
+        # A fresh announcement within the timeout is suppressed...
+        receiver.relay.handle_cmpct_block(0, message)
+        assert receiver.stats.getdata_retries == 0
+        # ...but once the round-trip is stale, the new announcer takes over.
+        simulated.simulator.run(until=simulated.simulator.now + 10.0)
+        receiver.relay.handle_cmpct_block(0, message)
+        assert receiver.stats.getdata_retries == 1
+        simulated.simulator.run(until=simulated.simulator.now + 30.0)
+        assert receiver.blockchain.has_block(block.block_hash)
+
+
+class TestPushRelay:
+    def test_cluster_links_get_full_block_others_get_inv(self):
+        config = NodeConfig(relay_strategy="push")
+        params = NetworkParameters(node_count=6, seed=3, node_config=config)
+        simulated = build_network(params)
+        network = simulated.network
+        # 0-1 is an intra-cluster link, 0-2 is not.
+        network.connect(0, 1, is_cluster_link=True)
+        network.connect(0, 2)
+        network.connect(1, 2)
+        fund_nodes(list(simulated.nodes.values()), outputs_per_node=2)
+        block = mine_at(simulated, 0)
+        simulated.simulator.run(until=60.0)
+        assert simulated.node(0).stats.blocks_pushed >= 1
+        assert network.messages_sent["block"] >= 1
+        assert network.messages_sent["inv"] >= 1
+        assert simulated.node(1).blockchain.has_block(block.block_hash)
+        assert simulated.node(2).blockchain.has_block(block.block_hash)
+
+    def test_without_cluster_links_degenerates_to_flood(self):
+        pushed = build_ring(relay="push", seed=4)
+        flooded = build_ring(relay="flood", seed=4)
+        for simulated in (pushed, flooded):
+            mine_at(simulated, 0)
+            simulated.simulator.run(until=90.0)
+        assert dict(pushed.network.messages_sent) == dict(flooded.network.messages_sent)
+        assert all(n.stats.blocks_pushed == 0 for n in pushed.nodes.values())
+
+
+class TestGetdataDedup:
+    def test_duplicate_block_inv_not_rerequested(self):
+        simulated = build_ring()
+        network = simulated.network
+        node = simulated.node(0)
+        before = network.messages_sent.get("getdata", 0)
+        for announcer in (1, 3):
+            network.send(
+                announcer,
+                0,
+                InvMessage(
+                    sender=announcer,
+                    inventory_type=InventoryType.BLOCK,
+                    hashes=(FAKE_HASH,),
+                ),
+            )
+        simulated.simulator.run(until=10.0)
+        assert network.messages_sent["getdata"] == before + 1
+        assert node.stats.getdata_saved == 1
+        assert node.stats.getdata_retries == 0
+
+    def test_stale_request_retried_from_new_announcer(self):
+        simulated = build_ring(getdata_retry_s=5.0)
+        network = simulated.network
+        simulator = simulated.simulator
+        node = simulated.node(0)
+        network.send(
+            1,
+            0,
+            InvMessage(sender=1, inventory_type=InventoryType.BLOCK, hashes=(FAKE_HASH,)),
+        )
+        simulator.run(until=2.0)
+        assert FAKE_HASH in node.relay.pending_block_requests
+        before = network.messages_sent["getdata"]
+        # The serving peer never answers (it does not have the block); after
+        # the timeout a fresh announcement re-requests from the new peer.
+        simulator.run(until=10.0)
+        network.send(
+            3,
+            0,
+            InvMessage(sender=3, inventory_type=InventoryType.BLOCK, hashes=(FAKE_HASH,)),
+        )
+        simulator.run(until=20.0)
+        assert node.stats.getdata_retries == 1
+        assert network.messages_sent["getdata"] == before + 1
+
+    def test_duplicate_tx_inv_saved_across_peers(self):
+        simulated = build_ring()
+        network = simulated.network
+        node = simulated.node(0)
+        txid = "a" * 64
+        for announcer in (1, 3):
+            network.send(
+                announcer,
+                0,
+                InvMessage(
+                    sender=announcer,
+                    inventory_type=InventoryType.TRANSACTION,
+                    hashes=(txid,),
+                ),
+            )
+        simulated.simulator.run(until=10.0)
+        assert node.stats.getdata_sent == 1
+        assert node.stats.getdata_saved == 1
+
+
+class TestOrphanPoolCap:
+    def orphan(self, index, height=5):
+        coinbase = Transaction.coinbase("miner-address", 100, tag=f"orphan-{index}")
+        return Block.create(
+            previous=_FakeParent(f"{index:02x}" * 32, height - 1),
+            transactions=(coinbase,),
+            timestamp=1.0,
+            nonce=index,
+            miner_id=9,
+        )
+
+    def test_pool_evicts_oldest_beyond_cap(self):
+        simulated = build_network(
+            NetworkParameters(
+                node_count=2, seed=1, node_config=NodeConfig(max_orphan_blocks=3)
+            )
+        )
+        node = simulated.node(0)
+        blocks = [self.orphan(i) for i in range(5)]
+        for block in blocks:
+            node.accept_block(block, origin_peer=None)
+        assert node.orphan_block_count == 3
+        assert node.stats.orphans_evicted == 2
+        # The oldest stashed blocks went first (FIFO).
+        remaining = {
+            b.block_hash for waiting in node._orphan_blocks.values() for b in waiting
+        }
+        assert remaining == {b.block_hash for b in blocks[2:]}
+
+    def test_evicted_orphan_can_be_reannounced(self):
+        """Eviction must be a deferral, not a permanent ban: the hash leaves
+        known_blocks so a later INV can re-request the block."""
+        simulated = build_network(
+            NetworkParameters(
+                node_count=2, seed=1, node_config=NodeConfig(max_orphan_blocks=2)
+            )
+        )
+        node = simulated.node(0)
+        blocks = [self.orphan(i) for i in range(3)]
+        for block in blocks:
+            node.accept_block(block, origin_peer=None)
+        assert node.stats.orphans_evicted == 1
+        assert blocks[0].block_hash not in node.known_blocks
+        assert blocks[1].block_hash in node.known_blocks
+
+    def test_duplicate_orphan_not_double_counted(self):
+        simulated = build_network(
+            NetworkParameters(
+                node_count=2, seed=1, node_config=NodeConfig(max_orphan_blocks=3)
+            )
+        )
+        node = simulated.node(0)
+        block = self.orphan(0)
+        node.accept_block(block, origin_peer=None)
+        node.accept_block(block, origin_peer=None)
+        assert node.orphan_block_count == 1
+        assert node.stats.orphans_evicted == 0
+
+
+class _FakeParent:
+    """Stand-in parent so Block.create can build an orphan (parent unknown)."""
+
+    def __init__(self, block_hash, height):
+        self.block_hash = block_hash
+        self.height = height
