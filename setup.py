@@ -12,6 +12,13 @@ Installing exposes the ``repro`` console script — the unified experiment CLI
     repro list
     repro run fig3 --nodes 200 --runs 10 --workers 4
     repro compare fig3
+    repro report fig3      # markdown report + figures from the stored run
+
+Figure rendering (PNG/SVG via matplotlib) is an optional extra::
+
+    pip install -e .[plots] --no-build-isolation
+
+Without it, ``repro report`` falls back to markdown tables for every figure.
 """
 
 from pathlib import Path
@@ -35,6 +42,11 @@ setup(
         "numpy",
         "networkx",
     ],
+    extras_require={
+        # Optional figure rendering for `repro report`; everything else
+        # (including the markdown table fallback) works without it.
+        "plots": ["matplotlib"],
+    },
     entry_points={
         "console_scripts": [
             "repro=repro.experiments.cli:main",

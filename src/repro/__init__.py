@@ -4,8 +4,11 @@ This package reproduces "Proximity Awareness Approach to Enhance Propagation
 Delay on the Bitcoin Peer-to-Peer Network" (Fadhil/Sallal, Owen, Adda —
 ICDCS 2017): a discrete-event Bitcoin P2P simulator, the BCBPT ping-latency
 clustering protocol, the LBC geographic baseline, the vanilla Bitcoin baseline,
-the paper's measuring-node methodology, and experiment drivers that regenerate
-its figures.
+the paper's measuring-node methodology, experiment drivers that regenerate its
+figures, and an analysis plane (:mod:`repro.analysis`, CLI ``repro report``)
+that re-renders Fig. 3/4 and percentile tables from any stored run's raw
+samples without re-simulation.  See ``docs/ARCHITECTURE.md`` for the layer
+map and the determinism contract.
 
 Quickstart::
 

@@ -1,0 +1,87 @@
+"""Analysis plane: raw-sample capture, distribution statistics, figures, reports.
+
+The experiments layer runs simulations and persists
+:class:`~repro.experiments.results.ExperimentResult` envelopes; this package
+turns those envelopes into *analysis* — the paper's figures regenerated from
+raw samples, percentile tables, bootstrap confidence intervals and
+self-contained markdown reports — with **no re-simulation**.
+
+Public entry points, bottom-up:
+
+* :mod:`repro.analysis.samples` — :class:`~repro.analysis.samples.SampleLog`,
+  the versioned raw-sample capture structure experiments store under the
+  envelope's ``samples`` field (per-seed delay series and named time-series
+  counters), plus :class:`~repro.analysis.samples.BlockArrivalRecorder`, the
+  reusable ``BitcoinNode.block_listeners`` observer.  Depends only on the
+  standard library, so every layer may import it.
+* :mod:`repro.analysis.stats` — the shared statistics core: percentiles,
+  empirical CDFs (:class:`~repro.analysis.stats.Ecdf`), streaming P²
+  percentile estimation and bootstrap confidence intervals over seeds.  This
+  is the single implementation behind
+  :class:`repro.measurement.stats.DelayDistribution` and the report tables.
+* :mod:`repro.analysis.figures` — declarative
+  :class:`~repro.analysis.figures.FigureSpec` curves (Fig. 3/4
+  delay-vs-coverage CDFs) rendered as matplotlib PNG/SVG when the optional
+  ``repro[plots]`` extra is installed, always with a markdown table fallback.
+* :mod:`repro.analysis.report` — ``repro report``: renders one stored run (or
+  a comparison of two) as a self-contained, byte-stable markdown report.
+
+``figures`` and ``report`` sit *above* the experiments layer (they read
+stored envelopes), so they are loaded lazily here; ``samples`` and ``stats``
+are dependency-free leaves loaded eagerly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.samples import (
+    SAMPLES_SCHEMA_VERSION,
+    BlockArrivalRecorder,
+    SampleLog,
+    SampleSeries,
+    TimeSeries,
+)
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    Ecdf,
+    StreamingQuantile,
+    bootstrap_ci,
+    clamped_mean,
+    mean,
+    percentile,
+    sample_std,
+    sample_variance,
+    summarize_values,
+)
+
+__all__ = [
+    "SAMPLES_SCHEMA_VERSION",
+    "BlockArrivalRecorder",
+    "ConfidenceInterval",
+    "Ecdf",
+    "SampleLog",
+    "SampleSeries",
+    "StreamingQuantile",
+    "TimeSeries",
+    "bootstrap_ci",
+    "clamped_mean",
+    "mean",
+    "percentile",
+    "sample_std",
+    "sample_variance",
+    "summarize_values",
+]
+
+_LAZY_MODULES = ("figures", "report")
+
+
+def __getattr__(name: str) -> Any:
+    # figures/report import matplotlib (optionally) and the experiments layer;
+    # loading them lazily keeps `repro.analysis.samples` importable from the
+    # lower layers without a cycle.
+    if name in _LAZY_MODULES:
+        import importlib
+
+        return importlib.import_module(f"repro.analysis.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,6 +14,12 @@ of the existing Bitcoin protocol rather than a replacement:
   by measured round-trip ping latency under a threshold ``d_t`` (Eq. 1), using
   the distance utility function of Eq. 2-4, with a few long-distance links per
   node for inter-cluster visibility.
+
+Public entry points: the three policy classes above (usually reached through
+:func:`repro.workloads.scenarios.build_scenario` by name),
+:class:`~repro.core.cluster.ClusterRegistry` (cluster membership and
+summaries) and :class:`~repro.core.maintenance.ChurnMaintainer` (session
+lifecycle + periodic cluster repair under churn).
 """
 
 from repro.core.bcbpt import BcbptConfig, BcbptPolicy

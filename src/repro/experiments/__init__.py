@@ -35,8 +35,19 @@ Every driver registers itself with the declarative registry
 
 Results persist as JSON envelopes in a :class:`~repro.experiments.results.
 ResultStore` under ``results/`` and can be reloaded and diffed
-(``python -m repro.experiments compare fig3``).  The old per-module entry
-points (``python -m repro.experiments.fig3`` ...) remain as deprecation shims.
+(``python -m repro.experiments compare fig3``).  Drivers that declare a
+``collect_samples`` hook additionally persist their raw per-seed measurement
+series in the envelope's ``samples`` field, from which the analysis plane
+(:mod:`repro.analysis`, CLI ``repro report``) regenerates the paper's
+figures and percentile tables without re-simulation.  The old per-module
+entry points (``python -m repro.experiments.fig3`` ...) remain as
+deprecation shims.
+
+Public entry points: :func:`~repro.experiments.api.run_experiment` (dispatch
+one experiment), the :func:`~repro.experiments.api.experiment` decorator
+(register a new one), :class:`~repro.experiments.config.ExperimentConfig`
+(shared knobs), :class:`~repro.experiments.results.ResultStore`
+(persistence), and :func:`~repro.experiments.cli.main` (the ``repro`` CLI).
 """
 
 from repro.experiments.api import (

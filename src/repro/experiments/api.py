@@ -24,7 +24,11 @@ and in return gets, for free:
   checkpoint — drivers no longer validate individually);
 * a JSON-serialisable :class:`~repro.experiments.results.ExperimentResult`
   envelope, persisted through the
-  :class:`~repro.experiments.results.ResultStore`.
+  :class:`~repro.experiments.results.ResultStore`;
+* raw-sample persistence: a driver that declares ``collect_samples`` (a
+  ``payload -> SampleLog`` extractor) gets its per-seed measurement series
+  stored in the envelope's ``samples`` field, which is what ``repro report``
+  regenerates figures and percentile tables from without re-simulation.
 
 :func:`run_experiment` is the one dispatch path used by the CLI, the
 benchmark guards and the examples.
@@ -128,6 +132,11 @@ class ExperimentSpec:
             :class:`~repro.experiments.reporting.ExperimentReport`.
         summarize: extracts JSON-safe per-label scalar summaries from the
             payload (feeds ``ExperimentResult.summaries`` and run diffs).
+        collect_samples: extracts a
+            :class:`~repro.analysis.samples.SampleLog` of raw measurement
+            series from the payload (feeds ``ExperimentResult.samples``, the
+            material ``repro report`` regenerates figures from).  Optional —
+            experiments that don't opt in persist summaries only.
         verdicts: named reproduction criteria evaluated on the payload.
         exit_verdict: verdict whose failure makes the CLI exit non-zero.
     """
@@ -141,6 +150,7 @@ class ExperimentSpec:
     options: tuple[ExperimentOption, ...] = ()
     report: Optional[Callable[[Any], ExperimentReport]] = None
     summarize: Optional[Callable[[Any], dict[str, dict[str, Any]]]] = None
+    collect_samples: Optional[Callable[[Any], Any]] = None
     verdicts: Mapping[str, Callable[[Any], bool]] = field(default_factory=dict)
     exit_verdict: Optional[str] = None
 
@@ -173,6 +183,7 @@ def experiment(
     options: Sequence[ExperimentOption] = (),
     report: Optional[Callable[[Any], ExperimentReport]] = None,
     summarize: Optional[Callable[[Any], dict[str, dict[str, Any]]]] = None,
+    collect_samples: Optional[Callable[[Any], Any]] = None,
     verdicts: Optional[Mapping[str, Callable[[Any], bool]]] = None,
     exit_verdict: Optional[str] = None,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
@@ -195,6 +206,7 @@ def experiment(
             options=tuple(options),
             report=report,
             summarize=summarize,
+            collect_samples=collect_samples,
             verdicts=dict(verdicts or {}),
             exit_verdict=exit_verdict,
         )
@@ -333,6 +345,13 @@ def run_experiment(
         report = spec.report(payload)
         sections = list(report.sections)
     summaries = spec.summarize(payload) if spec.summarize is not None else {}
+    samples: dict[str, Any] = {}
+    if spec.collect_samples is not None:
+        sample_log = spec.collect_samples(payload)
+        if sample_log:
+            # Duck-typed (SampleLog.to_dict) so the registry layer does not
+            # import the analysis package it sits below.
+            samples = sample_log.to_dict()
     verdicts = {name_: bool(fn(payload)) for name_, fn in spec.verdicts.items()}
 
     result = ExperimentResult(
@@ -347,6 +366,7 @@ def run_experiment(
         verdicts=verdicts,
         sections=sections,
         extras={"duration_s": time.time() - started},
+        samples=samples,
     )
     result.payload = payload  # type: ignore[attr-defined]  # in-memory only
     return result

@@ -34,6 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+from repro.analysis.samples import SampleLog
+from repro.analysis.stats import mean
 from repro.experiments.api import ExperimentOption, deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.grid import run_seed_grid
@@ -127,7 +129,7 @@ class ChurnResilienceResult:
         """Mean fraction of measured connections that received the payment."""
         if not self.coverages:
             return 0.0
-        return sum(self.coverages) / len(self.coverages)
+        return mean(self.coverages)
 
     def cluster_drift(self) -> dict[str, float]:
         """Mean absolute drift of cluster count / size across the run."""
@@ -140,8 +142,8 @@ class ChurnResilienceResult:
             count_drift.append(abs(after["cluster_count"] - before["cluster_count"]))
             size_drift.append(abs(after["mean_size"] - before["mean_size"]))
         return {
-            "cluster_count_drift": sum(count_drift) / len(count_drift) if count_drift else 0.0,
-            "mean_size_drift": sum(size_drift) / len(size_drift) if size_drift else 0.0,
+            "cluster_count_drift": mean(count_drift) if count_drift else 0.0,
+            "mean_size_drift": mean(size_drift) if size_drift else 0.0,
         }
 
 
@@ -241,6 +243,26 @@ def run_churn_seed(job: ChurnResilienceJob) -> ChurnJobResult:
     )
 
 
+def collect_samples(results: dict[str, ChurnResilienceResult]) -> SampleLog:
+    """Raw Δt samples for the envelope's ``samples`` field.
+
+    One ``delay_s`` series per (protocol/level, seed) — the merge's insertion
+    order, so the pooled concatenation is worker-count invariant — plus the
+    per-campaign ``coverage`` curve.
+    """
+    log = SampleLog()
+    for key, result in results.items():
+        log.add_per_seed(
+            key,
+            "delay_s",
+            {seed: dist.samples for seed, dist in result.per_seed.items()},
+            unit="s",
+        )
+        for index, coverage in enumerate(result.coverages):
+            log.add_point(key, "coverage", float(index), coverage, unit="fraction")
+    return log
+
+
 # ------------------------------------------------------------------- driver
 @experiment(
     "churn_resilience",
@@ -275,6 +297,7 @@ def run_churn_seed(job: ChurnResilienceJob) -> ChurnJobResult:
               **result.cluster_drift()}
         for key, result in results.items()
     },
+    collect_samples=collect_samples,
     verdicts={"clustering_survives_churn": lambda results: clustering_survives_churn(results)},
 )
 def run_churn_resilience(

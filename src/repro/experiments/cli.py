@@ -9,6 +9,10 @@ One command drives every registered experiment::
     repro run fig3 --sweep latency_threshold_s=0.02,0.03
     repro compare fig3                          # diff the two newest runs
     repro compare fig3/<run-a> fig3/<run-b>     # diff two specific runs
+    repro report                                # markdown report, newest run
+    repro report fig3                           # ... newest fig3 run
+    repro report fig3/<run-a>                   # ... one specific run
+    repro report --compare fig3/<a> fig3/<b>    # side-by-side deltas
 
 ``run`` composes the shared :meth:`ExperimentConfig.add_arguments` flags with
 the experiment's declarative options, executes through the registry dispatch
@@ -18,6 +22,12 @@ persists the envelope to the :class:`~repro.experiments.results.ResultStore`
 field=v1,v2`` repeats the run across the values of any
 :class:`~repro.experiments.config.ExperimentConfig` field or experiment
 option; several ``--sweep`` flags form a grid.
+
+``report`` re-analyses a *stored* run with no re-simulation: it renders a
+self-contained markdown report (provenance, verdicts, percentile tables,
+Fig. 3/4 regenerated from the envelope's raw samples) into the run directory
+via :mod:`repro.analysis.report`.  Figures become PNG/SVG when matplotlib
+(the ``repro[plots]`` extra) is installed and markdown tables otherwise.
 """
 
 from __future__ import annotations
@@ -53,6 +63,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_describe(args.name)
     if args.command == "compare":
         return _cmd_compare(args.runs, args.results_dir)
+    if args.command == "report":
+        return _cmd_report(args)
     parser.print_help()
     return 2
 
@@ -79,6 +91,46 @@ def _top_parser() -> argparse.ArgumentParser:
         "experiment name, meaning its two newest stored runs",
     )
     compare.add_argument(
+        "--results-dir", default=None, help="result store root (default: results/)"
+    )
+    report = sub.add_parser(
+        "report",
+        help="render a markdown report (figures included) from a stored run",
+    )
+    report.add_argument(
+        "ref",
+        nargs="?",
+        default=None,
+        help="run id (fig3/<stamp>-001), run directory, experiment name "
+        "(meaning its newest run) or 'latest' (the default: newest run overall)",
+    )
+    report.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BASELINE", "CANDIDATE"),
+        help="instead of one run's report, print a side-by-side markdown "
+        "comparison of two stored runs",
+    )
+    report.add_argument(
+        "--out", default=None, help="output directory (default: the run directory)"
+    )
+    report.add_argument(
+        "--formats",
+        nargs="+",
+        default=["png", "svg"],
+        help="figure formats when matplotlib is available (default: png svg)",
+    )
+    report.add_argument(
+        "--no-figures",
+        action="store_true",
+        help="skip image rendering even when matplotlib is available",
+    )
+    report.add_argument(
+        "--stdout",
+        action="store_true",
+        help="also print the rendered markdown to stdout",
+    )
+    report.add_argument(
         "--results-dir", default=None, help="result store root (default: results/)"
     )
     return parser
@@ -272,6 +324,37 @@ def _execute_run(spec: ExperimentSpec, args: argparse.Namespace) -> int:
         padded = [row + [""] * (width - len(row)) for row in sweep_rows]
         print(format_table(headers, padded, title="Sweep summary"))
     return exit_code
+
+
+# ------------------------------------------------------------------ report
+def _cmd_report(args: argparse.Namespace) -> int:
+    # Imported lazily: the analysis layer sits above the experiments layer
+    # and is only needed by this subcommand.
+    from repro.analysis import report as report_mod
+
+    store = ResultStore(args.results_dir)
+    try:
+        if args.compare:
+            baseline, candidate = args.compare
+            print(report_mod.render_comparison(store, baseline, candidate), end="")
+            return 0
+        artifacts = report_mod.write_report(
+            store,
+            args.ref,
+            out_dir=args.out,
+            formats=tuple(args.formats),
+            render_figures=not args.no_figures,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"report: {artifacts.markdown_path}")
+    for path in artifacts.figure_paths:
+        print(f"figure: {path}")
+    if args.stdout:
+        print()
+        print(artifacts.markdown, end="")
+    return 0
 
 
 # ----------------------------------------------------------------- compare

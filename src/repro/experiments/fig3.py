@@ -17,7 +17,11 @@ from typing import Optional
 from repro.experiments.api import deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import ExperimentReport, format_delay_summaries, format_table
-from repro.experiments.runner import PropagationResult, run_protocol_comparison
+from repro.experiments.runner import (
+    PropagationResult,
+    collect_propagation_samples,
+    run_protocol_comparison,
+)
 
 #: The protocols compared in Fig. 3, in the order the paper lists them.
 FIG3_PROTOCOLS = ("bitcoin", "lbc", "bcbpt")
@@ -91,6 +95,7 @@ def summarize(results: dict[str, PropagationResult]) -> dict[str, dict[str, floa
     protocols=FIG3_PROTOCOLS,
     report=build_report,
     summarize=summarize,
+    collect_samples=collect_propagation_samples,
     verdicts={"paper_ordering": expected_ordering_holds},
 )
 def run_fig3(config: Optional[ExperimentConfig] = None) -> dict[str, PropagationResult]:

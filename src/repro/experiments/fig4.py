@@ -17,7 +17,11 @@ from typing import Optional, Sequence
 from repro.experiments.api import ExperimentOption, deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import ExperimentReport, format_delay_summaries, format_table
-from repro.experiments.runner import PropagationResult, run_protocol_comparison
+from repro.experiments.runner import (
+    PropagationResult,
+    collect_propagation_samples,
+    run_protocol_comparison,
+)
 
 
 def threshold_labels(thresholds_s: Sequence[float]) -> list[str]:
@@ -96,6 +100,7 @@ def summarize(results: dict[str, PropagationResult]) -> dict[str, dict[str, floa
     ),
     report=build_report,
     summarize=summarize,
+    collect_samples=collect_propagation_samples,
     verdicts={"variance_monotone": variance_is_monotone},
 )
 def run_fig4(config: Optional[ExperimentConfig] = None) -> dict[str, PropagationResult]:

@@ -21,6 +21,14 @@ one place.  Every experiment registered through
 :mod:`repro.experiments.api` gets ``--workers`` fan-out for free by building
 on this executor.
 
+The raw-sample capture layer inherits the same contract: a driver's
+``collect_samples`` hook fills a :class:`~repro.analysis.samples.SampleLog`
+from results merged in this submission order (one series per (point, seed),
+see ``SampleLog.add_per_seed``), so the ``samples`` field persisted into the
+:class:`~repro.experiments.results.ExperimentResult` envelope — and every
+figure ``repro report`` later regenerates from it — is byte-identical for
+every worker count.
+
 Job specs must be picklable (frozen dataclasses of plain values) and
 ``job_fn`` must be a module-level callable — the same constraints
 :class:`~repro.experiments.parallel.ParallelRunner` imposes.

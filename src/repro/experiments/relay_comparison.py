@@ -35,6 +35,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.analysis.samples import BlockArrivalRecorder, SampleLog
+from repro.analysis.stats import mean
 from repro.experiments.api import ExperimentOption, deprecated_main, experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.grid import run_seed_grid
@@ -116,7 +118,7 @@ class RelayComparisonResult:
         """Mean fraction of nodes reached per block within the horizon."""
         if not self.coverages:
             return 0.0
-        return sum(self.coverages) / len(self.coverages)
+        return mean(self.coverages)
 
     def summary(self) -> dict[str, float]:
         """Scalar summary for the result envelope."""
@@ -155,14 +157,10 @@ def run_relay_seed(job: RelayJob) -> RelayJobResult:
     ids = simulated.node_ids()
     nodes = list(simulated.nodes.values())
 
-    # Block arrival observer: node id -> acceptance time, per block hash.
-    arrivals: dict[str, dict[int, float]] = {}
-
-    def on_block(node_id: int, block, accepted_at: float) -> None:
-        arrivals.setdefault(block.block_hash, {})[node_id] = accepted_at
-
-    for node in nodes:
-        node.block_listeners.append(on_block)
+    # The shared block-plane observer: per block hash, node id -> acceptance
+    # time in event order (via every node's block_listeners).
+    recorder = BlockArrivalRecorder()
+    recorder.attach(nodes)
 
     mining = MiningProcess(
         simulator,
@@ -208,11 +206,10 @@ def run_relay_seed(job: RelayJob) -> RelayJobResult:
             simulator.run(until=min(simulator.now + 0.5, deadline))
 
         blocks_measured += 1
-        received = arrivals.get(block.block_hash, {})
-        for node_id, accepted_at in received.items():
-            if node_id != block.header.miner_id:
-                delays.add(accepted_at - mined_at)
-        coverages.append(len(received) / len(nodes))
+        delays.extend(
+            recorder.delays(block.block_hash, mined_at, exclude=(block.header.miner_id,))
+        )
+        coverages.append(len(recorder.receivers(block.block_hash)) / len(nodes))
         relay_messages += network.total_messages() - before_messages
         relay_bytes += network.total_bytes() - before_bytes
         breakdown.update(Counter(network.messages_sent) - before_commands)
@@ -231,7 +228,7 @@ def run_relay_seed(job: RelayJob) -> RelayJobResult:
         relay_bytes=relay_bytes,
         block_payload_bytes=block_payload_bytes,
         message_breakdown=dict(breakdown),
-        coverage=sum(coverages) / len(coverages) if coverages else 0.0,
+        coverage=mean(coverages) if coverages else 0.0,
         compact_blocks_reconstructed=sum(
             node.stats.compact_blocks_reconstructed for node in nodes
         ),
@@ -239,6 +236,26 @@ def run_relay_seed(job: RelayJob) -> RelayJobResult:
         compact_fallbacks=sum(node.stats.compact_fallbacks for node in nodes),
         blocks_pushed=sum(node.stats.blocks_pushed for node in nodes),
     )
+
+
+def collect_samples(results: dict[str, RelayComparisonResult]) -> SampleLog:
+    """Raw block-propagation samples for the envelope's ``samples`` field.
+
+    One ``block_delay_s`` series per (relay/protocol, seed) — the merge's
+    insertion order, so the pooled concatenation is worker-count invariant —
+    plus the per-campaign ``coverage`` curve.
+    """
+    log = SampleLog()
+    for key, result in results.items():
+        log.add_per_seed(
+            key,
+            "block_delay_s",
+            {seed: dist.samples for seed, dist in result.per_seed.items()},
+            unit="s",
+        )
+        for index, coverage in enumerate(result.coverages):
+            log.add_point(key, "coverage", float(index), coverage, unit="fraction")
+    return log
 
 
 # ------------------------------------------------------------------- driver
@@ -287,6 +304,7 @@ def run_relay_seed(job: RelayJob) -> RelayJobResult:
     ),
     report=lambda results: build_report(results),
     summarize=lambda results: {key: result.summary() for key, result in results.items()},
+    collect_samples=collect_samples,
     verdicts={
         "compact_fewer_messages_per_block": lambda results: compact_beats_flood(
             results, lambda r: r.messages_per_block()

@@ -1,9 +1,12 @@
-"""Plain-text reporting helpers for experiment results.
+"""Plain-text and markdown reporting helpers for experiment results.
 
-The paper presents its results as figures; the benchmark harness cannot plot,
-so every experiment reports the same information as text tables (one row per
-protocol / threshold / rank) that can be compared against the figures' shape,
-plus machine-readable dictionaries for the tests.
+The paper presents its results as figures; the terminal reports render the
+same information as text tables (one row per protocol / threshold / rank)
+that can be compared against the figures' shape, plus machine-readable
+dictionaries for the tests.  Actual figure regeneration from stored raw
+samples lives one layer up, in :mod:`repro.analysis` (``repro report``),
+which builds its markdown tables with :func:`format_markdown_table` and takes
+its distribution math from :mod:`repro.analysis.stats`.
 """
 
 from __future__ import annotations
@@ -45,6 +48,29 @@ def _render_cell(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.6g}"
     return str(cell)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Format a GitHub-flavoured markdown table (used by ``repro report``).
+
+    Cells render like :func:`format_table` cells (floats at ``%.6g``), so a
+    value appears identically in the terminal report and the markdown report.
+    """
+    if not headers:
+        raise ValueError("a table needs at least one column")
+    lines = [
+        "| " + " | ".join(str(header) for header in headers) + " |",
+        "|" + "|".join(["---"] * len(headers)) + "|",
+    ]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        lines.append("| " + " | ".join(_render_cell(cell) for cell in row) + " |")
+    return "\n".join(lines)
 
 
 def format_delay_summaries(

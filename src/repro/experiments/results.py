@@ -7,6 +7,14 @@ summary statistics, the rendered report sections, and the verdict booleans the
 old drivers printed as prose.  The envelope round-trips through JSON, so a run
 written today can be reloaded and compared against a run written next month.
 
+Since schema v2 the envelope also carries ``samples``: the raw per-seed
+measurement series and time-series counters an experiment opted to persist
+(the :meth:`repro.analysis.samples.SampleLog.to_dict` form).  Raw samples are
+what make a stored run *re-analysable* — ``repro report`` regenerates the
+paper's figures and percentile tables from them with no re-simulation.
+Legacy v1 envelopes (no ``samples`` key) still load; they simply report with
+summary tables only.
+
 :class:`ResultStore` persists envelopes under timestamped run directories::
 
     results/
@@ -14,12 +22,15 @@ written today can be reloaded and compared against a run written next month.
         20260729T144501-001/
           result.json     # the ExperimentResult envelope
           report.txt      # the rendered plain-text report
+          report.md       # written by `repro report` (on demand)
+          figures/        # written by `repro report` when matplotlib exists
         20260729T151210-002/
           ...
 
 Run ids are ``"<experiment>/<directory>"`` (e.g. ``"fig3/20260729T144501-001"``)
 and sort chronologically.  :meth:`ResultStore.diff` compares two stored runs:
-config drift, per-label metric deltas, and verdict flips.
+config drift, per-label metric deltas, and verdict flips (raw samples are
+deliberately *not* diffed — the scalar summaries derived from them are).
 """
 
 from __future__ import annotations
@@ -35,7 +46,9 @@ from pathlib import Path
 from typing import Any, Mapping, Optional, Sequence, Union
 
 #: Envelope schema version, bumped on breaking layout changes.
-RESULT_SCHEMA_VERSION = 1
+#: v2 added the optional ``samples`` field (raw measurement series); v1
+#: envelopes load unchanged with an empty ``samples``.
+RESULT_SCHEMA_VERSION = 2
 
 _RUN_DIR_RE = re.compile(r"^\d{8}T\d{6}-\d{3}$")
 
@@ -81,6 +94,11 @@ class ExperimentResult:
             ordering check).
         sections: the rendered report as (heading, body) pairs.
         extras: any additional JSON-safe data an experiment wants persisted.
+        samples: raw measurement series and time-series counters, in the
+            plain :meth:`repro.analysis.samples.SampleLog.to_dict` form
+            (empty for experiments that opted out, and for legacy v1
+            envelopes).  This is what ``repro report`` regenerates figures
+            and percentile tables from.
     """
 
     experiment: str
@@ -94,6 +112,7 @@ class ExperimentResult:
     verdicts: dict[str, bool] = field(default_factory=dict)
     sections: list[tuple[str, str]] = field(default_factory=list)
     extras: dict[str, Any] = field(default_factory=dict)
+    samples: dict[str, Any] = field(default_factory=dict)
 
     def render(self) -> str:
         """Plain-text rendering (mirrors ``ExperimentReport.render``)."""
@@ -124,6 +143,7 @@ class ExperimentResult:
             "verdicts": dict(self.verdicts),
             "sections": [[heading, body] for heading, body in self.sections],
             "extras": json_safe(self.extras),
+            "samples": json_safe(self.samples),
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -150,6 +170,9 @@ class ExperimentResult:
             verdicts={k: bool(v) for k, v in data.get("verdicts", {}).items()},
             sections=[(heading, body) for heading, body in data.get("sections", [])],
             extras=dict(data.get("extras", {})),
+            # Legacy (v1) envelopes predate raw-sample capture; they load
+            # with an empty samples field and report with tables only.
+            samples=dict(data.get("samples", {}) or {}),
         )
 
     @classmethod
@@ -336,6 +359,14 @@ class ResultStore:
     def load(self, run_id: Union[str, Path]) -> ExperimentResult:
         """Load one stored run by id or path."""
         return ExperimentResult.from_json(self._resolve(run_id).read_text())
+
+    def run_dir(self, run_id: Union[str, Path]) -> Path:
+        """The on-disk directory of one stored run (id or path accepted).
+
+        ``repro report`` writes its rendered markdown and figures here by
+        default, so a run directory stays a self-contained artifact.
+        """
+        return self._resolve(run_id).parent
 
     def latest(self, experiment: str, *, before: Optional[str] = None) -> Optional[str]:
         """The newest stored run id for an experiment (optionally before

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.analysis.samples import SampleLog
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.grid import run_seed_grid
 from repro.experiments.parallel import PropagationJob, run_propagation_job
@@ -145,6 +146,31 @@ class PropagationExperiment:
         result.cluster_summaries[seed] = self.scenario.policy.clusters.summary()
         result.build_reports[seed] = self.scenario.build_report
         return result
+
+
+def collect_propagation_samples(
+    results: dict[str, PropagationResult],
+) -> SampleLog:
+    """Raw-sample extraction shared by the propagation experiments (Fig. 3/4).
+
+    Per label, the log carries one ``delay_s`` series per master seed (in the
+    merge's insertion order, so the pooled concatenation reproduces
+    ``PropagationResult.delays`` exactly and is worker-count invariant) plus
+    the ``rank_variance_s2`` curve the paper plots against the connection
+    rank.  This is what lets ``repro report`` regenerate Fig. 3/4 from a
+    stored envelope without re-simulation.
+    """
+    log = SampleLog()
+    for label, result in results.items():
+        log.add_per_seed(
+            label,
+            "delay_s",
+            {seed: dist.samples for seed, dist in result.per_seed.items()},
+            unit="s",
+        )
+        for rank, variance in result.rank_variance_curve():
+            log.add_point(label, "rank_variance_s2", float(rank), variance, unit="s^2")
+    return log
 
 
 def run_protocol_comparison(

@@ -12,6 +12,12 @@ Implements the paper's evaluation methodology (Section V):
 * :mod:`repro.measurement.crawler` — a crawler that samples ping/pong RTTs
   across the network, standing in for the authors' real-network crawler used
   to parameterise and validate their simulator.
+
+Public entry points: :class:`~repro.measurement.measuring_node.MeasuringNode`
+and :class:`~repro.measurement.measuring_node.MeasurementCampaign` (run the
+Fig. 2 methodology), :class:`~repro.measurement.stats.DelayDistribution`
+(aggregate Δt samples; its math lives in :mod:`repro.analysis.stats`) and
+:class:`~repro.measurement.crawler.NetworkCrawler`.
 """
 
 from repro.measurement.crawler import CrawlerReport, NetworkCrawler

@@ -5,14 +5,27 @@ particular, their variance ("variances of delays").  :class:`DelayDistribution`
 wraps a sample of delays and exposes the summary statistics the figures and
 benchmarks need: mean, median, variance, standard deviation, arbitrary
 percentiles and CDF points.
+
+The statistics themselves are implemented once, in
+:mod:`repro.analysis.stats` (the shared stats core also used by the report
+layer); this class owns the *delay semantics* — non-negativity validation,
+merging, and the ``*_s``-suffixed summary vocabulary.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
+
+from repro.analysis.stats import (
+    Ecdf,
+    clamped_mean,
+    percentile as _percentile,
+    sample_std,
+    sample_variance,
+    summarize_values,
+)
 
 
 class DelayDistribution:
@@ -69,9 +82,7 @@ class DelayDistribution:
         mean of near-identical samples one ulp outside the sample range, which
         would break the ordering invariants downstream consumers rely on.
         """
-        data = self._require_samples()
-        mean = float(np.mean(data))
-        return min(max(mean, float(np.min(data))), float(np.max(data)))
+        return clamped_mean(self._require_samples())
 
     def median(self) -> float:
         """Median delay."""
@@ -79,14 +90,11 @@ class DelayDistribution:
 
     def variance(self) -> float:
         """Sample variance (the quantity the paper's figures compare)."""
-        data = self._require_samples()
-        if len(data) < 2:
-            return 0.0
-        return float(np.var(data, ddof=1))
+        return sample_variance(self._require_samples())
 
     def std(self) -> float:
         """Sample standard deviation."""
-        return float(np.sqrt(self.variance()))
+        return sample_std(self._require_samples())
 
     def minimum(self) -> float:
         """Smallest delay observed."""
@@ -98,40 +106,23 @@ class DelayDistribution:
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (``0 <= q <= 100``)."""
-        if not 0 <= q <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
-        return float(np.percentile(self._require_samples(), q))
+        return _percentile(self._require_samples(), q)
+
+    def ecdf(self) -> Ecdf:
+        """The empirical CDF of the samples (see :class:`repro.analysis.stats.Ecdf`)."""
+        return Ecdf(self._require_samples())
 
     def cdf(self, points: Sequence[float]) -> list[float]:
         """Empirical CDF evaluated at the given delay points."""
-        data = np.sort(self._require_samples())
-        return [float(np.searchsorted(data, p, side="right")) / len(data) for p in points]
+        return self.ecdf().evaluate_many([float(p) for p in points])
 
     def cdf_curve(self, resolution: int = 50) -> list[tuple[float, float]]:
         """(delay, cumulative fraction) pairs spanning the sample range."""
-        if resolution <= 1:
-            raise ValueError(f"resolution must be at least 2, got {resolution}")
-        data = self._require_samples()
-        points = np.linspace(float(np.min(data)), float(np.max(data)), resolution)
-        fractions = self.cdf(list(points))
-        return list(zip((float(p) for p in points), fractions))
+        return self.ecdf().curve(resolution)
 
     def summary(self) -> dict[str, float]:
         """The summary statistics used throughout the experiment reports."""
-        return {
-            "count": float(len(self._samples)),
-            "mean_s": self.mean(),
-            "median_s": self.median(),
-            "variance_s2": self.variance(),
-            "std_s": self.std(),
-            "p10_s": self.percentile(10),
-            "p25_s": self.percentile(25),
-            "p75_s": self.percentile(75),
-            "p90_s": self.percentile(90),
-            "p95_s": self.percentile(95),
-            "min_s": self.minimum(),
-            "max_s": self.maximum(),
-        }
+        return summarize_values(self._require_samples())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if not self._samples:

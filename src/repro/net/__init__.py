@@ -15,6 +15,11 @@ here the same quantities are produced synthetically:
 * :mod:`repro.net.topology` tracks the overlay connection graph;
 * :mod:`repro.net.churn` generates join/leave events from a heavy-tailed
   session-length distribution.
+
+Public entry points: :class:`~repro.net.latency.LatencyModel` (Eq. 2-4 link
+delays), :class:`~repro.net.topology.OverlayTopology` (the connection
+graph), :class:`~repro.net.geo.GeoModel`, :class:`~repro.net.churn.ChurnModel`
+and :func:`~repro.net.message.message_size_bytes` (wire sizes per command).
 """
 
 from repro.net.bandwidth import BandwidthModel

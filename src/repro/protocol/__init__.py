@@ -23,6 +23,13 @@ Implements the pieces of the Bitcoin system the paper's evaluation depends on:
 * :mod:`repro.protocol.mining` — simplified proof-of-work block production;
 * :mod:`repro.protocol.doublespend` — the race attacker used by the
   double-spend experiment.
+
+Public entry points: :class:`~repro.protocol.node.BitcoinNode` (the peer,
+including its observer hooks ``transaction_listeners`` /
+``block_listeners``, the measurement and analysis planes' capture points),
+:class:`~repro.protocol.network.P2PNetwork` (delivery fabric),
+:class:`~repro.protocol.relay.RelayStrategy` (pluggable relay, selected by
+``NodeConfig.relay_strategy``) and :class:`~repro.protocol.mining.MiningProcess`.
 """
 
 from repro.protocol.block import Block, BlockHeader

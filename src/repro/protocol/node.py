@@ -234,10 +234,18 @@ class BitcoinNode:
         self._orphan_blocks: dict[str, list[Block]] = {}
         self._orphan_count = 0
 
-        #: External observers notified when a transaction is accepted locally.
+        #: External observers notified when a transaction is accepted locally,
+        #: as ``listener(node_id, transaction, accepted_at)``.  This is the
+        #: measurement plane's capture point: the measuring node records
+        #: Δt_{m,n} through it.  Listeners observe — they must not mutate node
+        #: state or send messages, or determinism is forfeit.
         self.transaction_listeners: list[Callable[[int, Transaction, float], None]] = []
-        #: External observers notified when a block is accepted locally
-        #: (the relay-comparison experiment measures block Δt through this).
+        #: External observers notified when a block is accepted locally, as
+        #: ``listener(node_id, block, accepted_at)``.  Same contract as
+        #: ``transaction_listeners``; the standard consumer is
+        #: :class:`repro.analysis.samples.BlockArrivalRecorder`, which turns
+        #: acceptance times into the raw block-delay series experiments
+        #: persist for ``repro report``.
         self.block_listeners: list[Callable[[int, Block, float], None]] = []
         #: External observers notified when this node sends an INV for a tx.
         self.announcement_listeners: list[Callable[[int, str, float], None]] = []

@@ -9,6 +9,12 @@ recorder used by the measurement layer.
 Everything in the repository that "happens over time" — message transmission,
 ping round trips, node churn, transaction relay — is scheduled through
 :class:`~repro.sim.engine.Simulator`.
+
+Public entry points: :class:`~repro.sim.engine.Simulator` (the event loop:
+``schedule`` / ``run(until=...)``), :class:`~repro.sim.rng.RandomService`
+(named deterministic random streams — the root of the repository's
+same-seed ⇒ same-trace guarantee), :class:`~repro.sim.timers.PeriodicTimer`
+and :class:`~repro.sim.trace.Tracer`.
 """
 
 from repro.sim.clock import SimClock

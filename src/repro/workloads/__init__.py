@@ -8,6 +8,12 @@
 * :mod:`repro.workloads.scenarios` — named presets combining a network, a
   neighbour-selection policy and (optionally) churn, used by the examples,
   experiments and benchmarks.
+
+Public entry points: :func:`~repro.workloads.scenarios.build_scenario` (the
+one call that assembles network + policy + relay + churn from names),
+:class:`~repro.workloads.network_gen.NetworkParameters`,
+:func:`~repro.workloads.generators.fund_nodes` and
+:class:`~repro.workloads.scenarios.ChurnSchedule`.
 """
 
 from repro.workloads.generators import TransactionWorkload, WorkloadConfig, fund_nodes
