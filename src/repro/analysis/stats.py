@@ -232,7 +232,11 @@ class StreamingQuantile:
         """
         if not self._heights:
             raise ValueError("no samples")
-        if len(self._heights) < 5:
+        if self._count <= 5:
+            # All samples seen so far are the (sorted) marker heights and no
+            # marker has moved yet, so the exact quantile is available — this
+            # keeps the documented "exact while five or fewer samples" promise
+            # at exactly five, where the marker recurrence has not started.
             return float(np.quantile(np.asarray(self._heights), self.q))
         return self._heights[2]
 

@@ -93,9 +93,10 @@ class DistanceCalculator:
         key = self._pair_key(node_a, node_b)
         if self._use_cache and key in self._cache:
             return self._cache[key]
-        samples = [
-            self._network.measure_rtt(node_a, node_b) for _ in range(self.samples_per_pair)
-        ]
+        # One batched call instead of samples_per_pair scalar pings: the pair's
+        # routed path resolves once and the jitter factors are drawn as one
+        # array, bit-identical to the sequential loop (see LatencyModel.sample_rtts).
+        samples = self._network.measure_rtts(node_a, node_b, self.samples_per_pair)
         self._network.record_ping_exchange(self.samples_per_pair)
         self.ping_exchanges += self.samples_per_pair
         self.measurements_taken += 1

@@ -121,6 +121,9 @@ class PropagationJob:
         threshold_s: BCBPT latency threshold ``d_t`` in seconds.
         seed: master seed for the job's network and simulator.
         config: shared experiment configuration.
+        snapshot_path: optional path to a pre-built network snapshot for this
+            job's (node count, seed); when set the worker loads it instead of
+            rebuilding the network (stream-exact, so results are unchanged).
     """
 
     label: str
@@ -128,6 +131,7 @@ class PropagationJob:
     threshold_s: float
     seed: int
     config: ExperimentConfig
+    snapshot_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -155,6 +159,7 @@ def run_propagation_job(job: PropagationJob) -> PropagationJobResult:
         parameters,
         latency_threshold_s=job.threshold_s,
         max_outbound=job.config.max_outbound,
+        snapshot=job.snapshot_path,
     )
     scenario.name = job.label
     experiment = PropagationExperiment(scenario, job.config)
@@ -358,6 +363,123 @@ def run_relay_job(job: RelayJob) -> RelayJobResult:
     from repro.experiments.relay_comparison import run_relay_seed
 
     return run_relay_seed(job)
+
+
+@dataclass(frozen=True)
+class ScaleJob:
+    """One (node count, protocol, seed) scale-measurement cell.
+
+    Attributes:
+        node_count: network size of this ladder point.
+        protocol: neighbour-selection policy under test.
+        seed: master seed for the cell's network and simulator.
+        threshold_s: BCBPT latency threshold ``d_t`` in seconds.
+        prune_depth: ``NodeConfig.prune_depth`` applied to every node (None
+            disables in-run pruning).
+        cell_runs: measurement runs per cell (kept small — the cell measures
+            resource scaling, not delay statistics).
+        profile_memory: trace the cell's Python allocations with
+            ``tracemalloc`` (accurate per-cell peaks, roughly 2x slower).
+        snapshot_path: optional pre-built network snapshot for this
+            (node count, seed); the worker loads it instead of rebuilding.
+        config: shared experiment configuration.
+    """
+
+    node_count: int
+    protocol: str
+    seed: int
+    threshold_s: float
+    prune_depth: Optional[int]
+    cell_runs: int
+    profile_memory: bool
+    snapshot_path: Optional[str]
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class ScaleJobResult:
+    """Per-cell resource measurements merged by the scale driver."""
+
+    node_count: int
+    protocol: str
+    seed: int
+    build_s: float
+    run_s: float
+    events: int
+    delay_samples: int
+    peak_traced_mb: Optional[float]
+    rss_mb: float
+    state_prunes: int
+    pruned_inventory_entries: int
+
+    @property
+    def wall_s(self) -> float:
+        """Total cell wall time (network acquire + campaign)."""
+        return self.build_s + self.run_s
+
+    @property
+    def events_per_s(self) -> float:
+        """Simulation throughput over the campaign phase."""
+        if self.run_s <= 0:
+            return float("nan")
+        return self.events / self.run_s
+
+
+def run_scale_job(job: ScaleJob) -> ScaleJobResult:
+    """Execute one scale cell — the process-pool entry point."""
+    import resource
+    import time
+    import tracemalloc
+
+    from repro.experiments.runner import PropagationExperiment
+    from repro.experiments.scale import scale_parameters
+    from repro.workloads.scenarios import build_scenario
+
+    cfg = job.config.with_overrides(
+        node_count=job.node_count,
+        runs=job.cell_runs,
+        measuring_nodes=1,
+        seeds=(job.seed,),
+    )
+    if job.profile_memory:
+        tracemalloc.start()
+    try:
+        start = time.perf_counter()
+        scenario = build_scenario(
+            job.protocol,
+            scale_parameters(job.node_count, job.seed, job.prune_depth),
+            latency_threshold_s=job.threshold_s,
+            max_outbound=cfg.max_outbound,
+            snapshot=job.snapshot_path,
+        )
+        built = time.perf_counter()
+        result = PropagationExperiment(scenario, cfg, fund_measuring_only=True).run()
+        finished = time.perf_counter()
+        peak_traced_mb: Optional[float] = None
+        if job.profile_memory:
+            peak_traced_mb = tracemalloc.get_traced_memory()[1] / 1e6
+    finally:
+        if job.profile_memory:
+            tracemalloc.stop()
+    nodes = scenario.network.nodes.values()
+    return ScaleJobResult(
+        node_count=job.node_count,
+        protocol=job.protocol,
+        seed=job.seed,
+        build_s=built - start,
+        run_s=finished - built,
+        events=scenario.simulator.events_executed,
+        delay_samples=len(result.delays),
+        peak_traced_mb=peak_traced_mb,
+        # ru_maxrss is the process-lifetime high-water mark in KB on Linux;
+        # under a reused pool worker it is an upper bound, not a per-cell peak
+        # (the tracemalloc figure is the per-cell one).
+        rss_mb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+        state_prunes=sum(node.stats.state_prunes for node in nodes),
+        pruned_inventory_entries=sum(
+            node.stats.pruned_inventory_entries for node in nodes
+        ),
+    )
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,8 @@ order, so the aggregates are identical for every worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 from repro.analysis.samples import SampleLog
 from repro.experiments.config import ExperimentConfig
@@ -30,6 +31,7 @@ from repro.experiments.parallel import PropagationJob, run_propagation_job
 from repro.measurement.measuring_node import CampaignResult, MeasurementCampaign, MeasuringNode
 from repro.measurement.stats import DelayDistribution
 from repro.workloads.generators import fund_nodes
+from repro.workloads.network_gen import NetworkParameters, ensure_network_snapshot
 from repro.workloads.scenarios import Scenario, validate_policy_name
 
 
@@ -92,17 +94,32 @@ def select_measuring_nodes(node_ids: Sequence[int], count: int) -> list[int]:
 
 
 class PropagationExperiment:
-    """Runs the measuring-node campaign on one prepared scenario."""
+    """Runs the measuring-node campaign on one prepared scenario.
+
+    Args:
+        scenario: the built scenario to measure.
+        config: shared experiment configuration.
+        fund_measuring_only: fund only the measuring nodes instead of every
+            node.  Only measuring nodes spend during a campaign, but funding
+            everyone installs O(nodes × outputs) UTXO entries *per node* —
+            quadratic in network size — so 10k-node scale cells opt out.
+            Default False: the funding block's contents feed every node's
+            inventory, so the figure experiments keep the historical
+            fund-everyone behaviour (pinned by the golden-fingerprint tests).
+    """
 
     def __init__(
         self,
         scenario: Scenario,
         config: Optional[ExperimentConfig] = None,
+        *,
+        fund_measuring_only: bool = False,
     ) -> None:
         self.scenario = scenario
         self.config = config if config is not None else ExperimentConfig(
             node_count=scenario.network.node_count
         )
+        self.fund_measuring_only = fund_measuring_only
         self._funded = False
 
     def _ensure_funding(self) -> None:
@@ -111,6 +128,7 @@ class PropagationExperiment:
         fund_nodes(
             list(self.scenario.network.nodes.values()),
             outputs_per_node=self.config.funding_outputs,
+            funded_node_ids=self.measuring_node_ids() if self.fund_measuring_only else None,
         )
         self._funded = True
 
@@ -178,6 +196,7 @@ def run_protocol_comparison(
     config: ExperimentConfig,
     *,
     thresholds: Optional[dict[str, float]] = None,
+    snapshot_dir: Optional[Union[str, Path]] = None,
 ) -> dict[str, PropagationResult]:
     """Run the same measurement campaign under several protocols and seeds.
 
@@ -187,11 +206,24 @@ def run_protocol_comparison(
             form ``"bcbpt@50ms"`` selects BCBPT with that threshold.
         config: shared experiment configuration.
         thresholds: optional per-label latency-threshold overrides (seconds).
+        snapshot_dir: when given, each (node count, seed) network is built
+            once here (serially, before the fan-out) and every job loads the
+            snapshot instead of rebuilding it.  Snapshots are stream-exact, so
+            results are byte-identical with or without this; it trades disk
+            for the per-job network build time the grid would otherwise
+            repeat ``len(protocols)`` times per seed.
 
     Returns:
         Label -> pooled :class:`PropagationResult` across all seeds.
     """
     resolved = {label: _parse_label(label, config, thresholds) for label in protocols}
+
+    snapshot_paths: dict[int, str] = {}
+    if snapshot_dir is not None:
+        # Pre-build serially in the driver process: workers only ever read.
+        for seed in config.seeds:
+            parameters = NetworkParameters(node_count=config.node_count, seed=seed)
+            snapshot_paths[seed] = str(ensure_network_snapshot(parameters, snapshot_dir))
 
     def make_job(label: str, seed: int) -> PropagationJob:
         policy_name, threshold = resolved[label]
@@ -201,6 +233,7 @@ def run_protocol_comparison(
             threshold_s=threshold,
             seed=seed,
             config=config,
+            snapshot_path=snapshot_paths.get(seed),
         )
 
     grid = run_seed_grid(protocols, make_job, run_propagation_job, config)

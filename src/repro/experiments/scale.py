@@ -1,0 +1,345 @@
+"""Ext-8 — scale ladder: wall time, throughput and memory up to 10k nodes.
+
+The paper's measured Bitcoin network is roughly 5000 reachable nodes; the
+figure experiments here default to a few hundred for tractable runtimes.
+This experiment measures what happens on the way up: for a ladder of network
+sizes it runs a deliberately small propagation campaign per (protocol, seed)
+cell and records
+
+* wall time, split into network acquire (build or snapshot load) and
+  campaign phases,
+* simulation throughput (events executed per wall second),
+* the cell's peak traced Python allocation (``tracemalloc``) and the process
+  RSS high-water mark (``resource.getrusage``), and
+* how much stale inventory state the in-run pruner
+  (:attr:`~repro.protocol.node.NodeConfig.prune_depth`) reclaimed.
+
+Cells ride the three scale-plane mechanisms this repo grew for 10k-node runs:
+the array-backed latency plane (automatic via ``build_network``), per-(node
+count, seed) network snapshots built once in the driver and loaded by every
+cell, and block-acceptance-driven state pruning (enabled here by default with
+``--prune-depth 6``; the figure experiments keep it off).
+
+Run from the command line::
+
+    PYTHONPATH=src python -m repro.experiments run scale --nodes 10000 \
+        --seeds 3 --protocols bitcoin bcbpt --workers 1
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.samples import SampleLog
+from repro.experiments.api import ExperimentOption, deprecated_main, experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import run_seed_grid
+from repro.experiments.parallel import ScaleJob, ScaleJobResult, run_scale_job
+from repro.experiments.reporting import ExperimentReport, format_table
+from repro.protocol.node import NodeConfig
+from repro.workloads.network_gen import NetworkParameters, ensure_network_snapshot
+from repro.workloads.scenarios import validate_policy_name
+
+#: Policies measured by default: the vanilla baseline and the paper's overlay.
+SCALE_PROTOCOLS = ("bitcoin", "bcbpt")
+
+#: Default in-run pruning depth for scale cells (Bitcoin's classic
+#: six-confirmation burial rule).
+DEFAULT_PRUNE_DEPTH = 6
+
+#: Smallest ladder point: campaigns need enough nodes for funding, measuring
+#: and clustering to be meaningful.
+MIN_LADDER_NODES = 20
+
+
+def scale_parameters(
+    node_count: int, seed: int, prune_depth: Optional[int]
+) -> NetworkParameters:
+    """The network parameters of one scale cell.
+
+    Shared between the driver (which pre-builds snapshots) and
+    :func:`~repro.experiments.parallel.run_scale_job` (which loads them), so
+    both sides agree bit-for-bit on the snapshot cache key.
+    """
+    return NetworkParameters(
+        node_count=node_count,
+        seed=seed,
+        node_config=NodeConfig(prune_depth=prune_depth),
+    )
+
+
+def default_ladder(node_count: int) -> tuple[int, ...]:
+    """The default size ladder up to ``node_count``: quarter, half, full."""
+    rungs = {
+        max(MIN_LADDER_NODES, node_count // 4),
+        max(MIN_LADDER_NODES, node_count // 2),
+        node_count,
+    }
+    return tuple(sorted(rungs))
+
+
+@dataclass
+class ScaleResult:
+    """Pooled scale measurements for one (protocol, node count) pair."""
+
+    protocol: str
+    node_count: int
+    cells: list[ScaleJobResult] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        """The combined ``protocol@N`` result key."""
+        return f"{self.protocol}@{self.node_count}"
+
+    def mean(self, values: Sequence[float]) -> float:
+        return sum(values) / len(values) if values else float("nan")
+
+    def summary(self) -> dict[str, float]:
+        """Scalar summary for the result envelope."""
+        peaks = [c.peak_traced_mb for c in self.cells if c.peak_traced_mb is not None]
+        return {
+            "cells": float(len(self.cells)),
+            "mean_build_s": self.mean([c.build_s for c in self.cells]),
+            "mean_run_s": self.mean([c.run_s for c in self.cells]),
+            "mean_wall_s": self.mean([c.wall_s for c in self.cells]),
+            "total_events": float(sum(c.events for c in self.cells)),
+            "mean_events_per_s": self.mean([c.events_per_s for c in self.cells]),
+            "max_peak_traced_mb": max(peaks) if peaks else float("nan"),
+            "max_rss_mb": max((c.rss_mb for c in self.cells), default=float("nan")),
+            "state_prunes": float(sum(c.state_prunes for c in self.cells)),
+            "pruned_inventory_entries": float(
+                sum(c.pruned_inventory_entries for c in self.cells)
+            ),
+        }
+
+
+def all_cells_completed(results: dict[str, ScaleResult]) -> bool:
+    """Every cell ran its campaign: events executed and Δt samples captured."""
+    cells = [cell for result in results.values() for cell in result.cells]
+    if not cells:
+        return False
+    return all(cell.events > 0 and cell.delay_samples > 0 for cell in cells)
+
+
+def collect_samples(results: dict[str, ScaleResult]) -> SampleLog:
+    """Nodes-vs-resource curves for the envelope's ``samples`` field."""
+    log = SampleLog()
+    for result in results.values():
+        x = float(result.node_count)
+        for cell in result.cells:
+            log.add_point(result.protocol, "wall_s", x, cell.wall_s, unit="s")
+            log.add_point(result.protocol, "build_s", x, cell.build_s, unit="s")
+            log.add_point(
+                result.protocol, "events_per_s", x, cell.events_per_s, unit="1/s"
+            )
+            log.add_point(result.protocol, "rss_mb", x, cell.rss_mb, unit="MB")
+            if cell.peak_traced_mb is not None:
+                log.add_point(
+                    result.protocol,
+                    "peak_traced_mb",
+                    x,
+                    cell.peak_traced_mb,
+                    unit="MB",
+                )
+    return log
+
+
+def build_report(results: dict[str, ScaleResult]) -> ExperimentReport:
+    """Turn scale-ladder results into a structured text report."""
+    report = ExperimentReport(
+        experiment_id="Ext-8",
+        description="Wall time, throughput and memory vs network size",
+    )
+    rows = []
+    for result in results.values():
+        summary = result.summary()
+        rows.append(
+            [
+                result.protocol,
+                result.node_count,
+                summary["mean_build_s"],
+                summary["mean_run_s"],
+                int(summary["total_events"]),
+                summary["mean_events_per_s"],
+                summary["max_peak_traced_mb"],
+                summary["max_rss_mb"],
+            ]
+        )
+    report.add_section(
+        "Scale ladder (seconds / events / MB)",
+        format_table(
+            [
+                "protocol",
+                "nodes",
+                "build",
+                "run",
+                "events",
+                "events/s",
+                "peak-MB",
+                "rss-MB",
+            ],
+            rows,
+        ),
+    )
+    prune_rows = [
+        [
+            result.protocol,
+            result.node_count,
+            int(result.summary()["state_prunes"]),
+            int(result.summary()["pruned_inventory_entries"]),
+        ]
+        for result in results.values()
+        if result.summary()["state_prunes"]
+    ]
+    if prune_rows:
+        report.add_section(
+            "In-run pruning",
+            format_table(["protocol", "nodes", "sweeps", "entries pruned"], prune_rows),
+        )
+    report.add_data("summaries", {key: r.summary() for key, r in results.items()})
+    report.add_data("results", results)
+    return report
+
+
+@experiment(
+    "scale",
+    experiment_id="Ext-8",
+    title="Scale ladder: wall time, throughput and memory up to 10k nodes",
+    description=__doc__,
+    protocols=SCALE_PROTOCOLS,
+    options=(
+        ExperimentOption(
+            flag="--node-counts",
+            dest="node_counts",
+            type=int,
+            nargs="+",
+            help="explicit ladder of network sizes (default: nodes/4 nodes/2 nodes)",
+            convert=tuple,
+        ),
+        ExperimentOption(
+            flag="--protocols",
+            dest="protocols",
+            type=str,
+            nargs="+",
+            help="policies to measure (default: bitcoin bcbpt)",
+            convert=tuple,
+            is_protocols=True,
+        ),
+        ExperimentOption(
+            flag="--prune-depth",
+            dest="prune_depth",
+            type=int,
+            help="in-run pruning depth; 0 disables pruning (default: 6)",
+        ),
+        ExperimentOption(
+            flag="--cell-runs",
+            dest="cell_runs",
+            type=int,
+            help="measurement runs per cell (default: 2)",
+        ),
+        ExperimentOption(
+            flag="--profile-memory",
+            dest="profile_memory",
+            type=int,
+            help="1 traces per-cell peak allocations with tracemalloc, 0 skips it (default: 1)",
+            convert=bool,
+        ),
+    ),
+    report=build_report,
+    summarize=lambda results: {key: r.summary() for key, r in results.items()},
+    collect_samples=collect_samples,
+    verdicts={"all_cells_completed": all_cells_completed},
+    exit_verdict="all_cells_completed",
+)
+def run_scale(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    node_counts: Optional[Sequence[int]] = None,
+    protocols: Sequence[str] = SCALE_PROTOCOLS,
+    prune_depth: int = DEFAULT_PRUNE_DEPTH,
+    cell_runs: int = 2,
+    profile_memory: bool = True,
+) -> dict[str, ScaleResult]:
+    """Measure the resource-scaling ladder and pool results per cell.
+
+    Args:
+        config: shared experiment configuration; ``config.node_count`` is the
+            ladder's top rung when ``node_counts`` is not given.
+        node_counts: explicit ladder of network sizes.
+        protocols: policy names to measure at every rung.
+        prune_depth: in-run pruning depth applied to every node (0 disables).
+        cell_runs: measurement runs per cell.
+        profile_memory: trace per-cell allocation peaks with ``tracemalloc``.
+
+    Returns:
+        ``"protocol@nodes"`` -> :class:`ScaleResult`.
+    """
+    cfg = config if config is not None else ExperimentConfig()
+    ladder = (
+        tuple(node_counts) if node_counts is not None else default_ladder(cfg.node_count)
+    )
+    if not ladder:
+        raise ValueError("node_counts cannot be empty")
+    for rung in ladder:
+        if rung < MIN_LADDER_NODES:
+            raise ValueError(
+                f"every ladder point needs at least {MIN_LADDER_NODES} nodes, got {rung}"
+            )
+    if cell_runs <= 0:
+        raise ValueError("cell_runs must be positive")
+    if prune_depth < 0:
+        raise ValueError("prune_depth cannot be negative (0 disables pruning)")
+    for protocol in protocols:
+        validate_policy_name(protocol)
+    depth = prune_depth if prune_depth > 0 else None
+
+    points = [(rung, protocol) for rung in ladder for protocol in protocols]
+
+    with tempfile.TemporaryDirectory(prefix="repro-scale-snapshots-") as snapshot_dir:
+        # Build each (node count, seed) network exactly once, serially in the
+        # driver: every (protocol) cell at that rung loads the same snapshot,
+        # and workers never race on the files.
+        snapshot_paths: dict[tuple[int, int], str] = {}
+        for rung in ladder:
+            for seed in cfg.seeds:
+                parameters = scale_parameters(rung, seed, depth)
+                snapshot_paths[(rung, seed)] = str(
+                    ensure_network_snapshot(parameters, snapshot_dir)
+                )
+
+        def make_job(point: tuple[int, str], seed: int) -> ScaleJob:
+            rung, protocol = point
+            return ScaleJob(
+                node_count=rung,
+                protocol=protocol,
+                seed=seed,
+                threshold_s=cfg.latency_threshold_s,
+                prune_depth=depth,
+                cell_runs=cell_runs,
+                profile_memory=profile_memory,
+                snapshot_path=snapshot_paths[(rung, seed)],
+                config=cfg,
+            )
+
+        grid = run_seed_grid(points, make_job, run_scale_job, cfg)
+
+    # Merge in submission order — identical aggregates for every worker count.
+    results: dict[str, ScaleResult] = {}
+    for (rung, protocol), seed_results in grid:
+        key = f"{protocol}@{rung}"
+        pooled = results.get(key)
+        if pooled is None:
+            pooled = results[key] = ScaleResult(protocol=protocol, node_count=rung)
+        pooled.cells.extend(seed_results)
+    return results
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Module-CLI shim; forwards to ``repro run scale``."""
+    return deprecated_main("scale", argv)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

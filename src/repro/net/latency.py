@@ -40,6 +40,10 @@ SIGNAL_SPEED_WIRELESS_M_S = 3.0e8
 #: Effective signal speed in copper / fibre, ~2/3 c (used for wired links).
 SIGNAL_SPEED_WIRED_M_S = 2.0e8
 
+#: Flag bits of the array-backed pair store (see :class:`LatencyModel`).
+_PAIR_FILLED = 1
+_PAIR_DETOUR = 2
+
 
 @dataclass(frozen=True)
 class LatencyParameters:
@@ -137,23 +141,60 @@ class LatencyModel:
     * a **stochastic sample** layer that multiplies the base RTT by a
       congestion jitter factor each time a ping is measured.
 
+    Per-pair state is stored in one of two backends:
+
+    * **dict mode** (``node_count=None``, the default for standalone use):
+      routing tuples and routed path lengths live in per-pair dicts, exactly
+      as before — repeated :meth:`path_km` calls with different great-circle
+      distances recompute from the persistent stretch/extra draw.
+    * **array mode** (``node_count=n``): per-pair state lives in flat
+      triangular numpy arrays — 8 bytes of routed-path km plus one flag byte
+      per pair instead of ~500 bytes of dict/tuple overhead, which is what
+      makes 10k-node networks (~50M pairs) fit in memory.  The arrays are
+      lazily filled (``np.zeros`` never touches untouched pages) and keyed by
+      the same canonical (low, high) pair ordering, and each pair's routing is
+      drawn from the stream in exactly the same order as dict mode, so the
+      two backends are byte-identical in every delay they produce.  Because
+      node positions are immutable for a run, a pair's routed path is
+      resolved once; array mode does not retain the raw stretch factor.
+
     Args:
         rng: random stream for detour assignment and jitter.
         parameters: model parameters; defaults are sensible for a wired node.
+        node_count: when given, enables array mode for node ids in
+            ``range(node_count)``; None keeps the dict backend.
     """
 
     def __init__(
         self,
         rng: np.random.Generator,
         parameters: Optional[LatencyParameters] = None,
+        node_count: Optional[int] = None,
     ) -> None:
         self._rng = rng
         self.parameters = parameters if parameters is not None else LatencyParameters()
-        #: Per-pair persistent routing: (path-stretch factor, extra detour km).
-        self._routing: dict[tuple[int, int], tuple[float, float]] = {}
-        #: Per-pair routed path length cache (positions are immutable for a
-        #: run, so the haversine + detour computation is done once per pair).
-        self._path_km_cache: dict[tuple[int, int], float] = {}
+        if node_count is not None and node_count < 2:
+            raise ValueError(f"node_count must be at least 2, got {node_count}")
+        self._node_count = node_count
+        if node_count is None:
+            #: Per-pair persistent routing: (path-stretch factor, extra detour km).
+            self._routing: Optional[dict[tuple[int, int], tuple[float, float]]] = {}
+            #: Per-pair routed path length cache (positions are immutable for a
+            #: run, so the haversine + detour computation is done once per pair).
+            self._path_km_cache: Optional[dict[tuple[int, int], float]] = {}
+            self._pair_path_km: Optional[np.ndarray] = None
+            self._pair_flags: Optional[np.ndarray] = None
+            self._deferred_routing: Optional[dict[tuple[int, int], tuple[float, float]]] = None
+        else:
+            self._routing = None
+            self._path_km_cache = None
+            pair_count = node_count * (node_count - 1) // 2
+            self._pair_path_km = np.zeros(pair_count, dtype=np.float64)
+            self._pair_flags = np.zeros(pair_count, dtype=np.uint8)
+            #: Routing drawn through the public API (``pair_has_detour`` on an
+            #: unresolved pair) before the pair's path is resolved; consumed by
+            #: the first resolution so the stream order matches dict mode.
+            self._deferred_routing = {}
         # Hot-path constant (parameters are frozen, so this never goes stale).
         # Computed with the exact Eq. (4) expression so cached and uncached
         # code paths agree to the last bit.
@@ -163,27 +204,79 @@ class LatencyModel:
         )
 
     # --------------------------------------------------------------- helpers
+    @property
+    def array_backed(self) -> bool:
+        """Whether per-pair state lives in flat numpy arrays (array mode)."""
+        return self._pair_path_km is not None
+
     @staticmethod
     def _pair_key(node_a: int, node_b: int) -> tuple[int, int]:
         return (node_a, node_b) if node_a <= node_b else (node_b, node_a)
 
+    def _pair_index(self, node_a: int, node_b: int) -> int:
+        """Flat triangular index of a pair in the array backend."""
+        a, b = (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+        n = self._node_count
+        if a == b:
+            raise ValueError(f"a node has no latency to itself (node {a})")
+        if a < 0 or b >= n:  # type: ignore[operator]
+            raise ValueError(
+                f"pair ({node_a}, {node_b}) outside the declared node range [0, {n})"
+            )
+        return a * n - (a * (a + 3)) // 2 + b - 1  # type: ignore[operator]
+
+    def _draw_routing(self) -> tuple[float, float]:
+        """Draw a pair's persistent (stretch factor, extra km) from the stream.
+
+        The single consumption point of the routing draws: both backends call
+        this in the same per-pair order, which is what keeps them bit-exact.
+        """
+        low, high = self.parameters.base_detour_range
+        factor = float(self._rng.uniform(low, high))
+        extra_km = 0.0
+        if self._rng.random() < self.parameters.detour_probability:
+            dlow, dhigh = self.parameters.detour_extra_km_range
+            extra_km = float(self._rng.uniform(dlow, dhigh))
+        return factor, extra_km
+
     def _routing_of(self, node_a: int, node_b: int) -> tuple[float, float]:
-        """Persistent routing characteristics (stretch factor, extra km) of a pair."""
+        """Persistent routing characteristics (stretch factor, extra km) of a pair.
+
+        Dict mode only — array mode persists the resolved path, not the raw
+        stretch factor.
+        """
         key = self._pair_key(node_a, node_b)
         routing = self._routing.get(key)
         if routing is None:
-            low, high = self.parameters.base_detour_range
-            factor = float(self._rng.uniform(low, high))
-            extra_km = 0.0
-            if self._rng.random() < self.parameters.detour_probability:
-                dlow, dhigh = self.parameters.detour_extra_km_range
-                extra_km = float(self._rng.uniform(dlow, dhigh))
-            routing = (factor, extra_km)
+            routing = self._draw_routing()
             self._routing[key] = routing
         return routing
 
+    def _resolve_pair(self, node_a: int, node_b: int, great_circle_km: float) -> float:
+        """Array mode: routed path of a pair, drawing its routing on first touch."""
+        index = self._pair_index(node_a, node_b)
+        if self._pair_flags[index] & _PAIR_FILLED:
+            return float(self._pair_path_km[index])
+        routing = self._deferred_routing.pop(self._pair_key(node_a, node_b), None)
+        if routing is None:
+            routing = self._draw_routing()
+        factor, extra_km = routing
+        path = great_circle_km * factor + extra_km
+        self._pair_path_km[index] = path
+        self._pair_flags[index] = (
+            _PAIR_FILLED | _PAIR_DETOUR if extra_km > 0.0 else _PAIR_FILLED
+        )
+        return path
+
     def path_km(self, node_a: int, node_b: int, great_circle_km: float) -> float:
-        """Effective routed path length for a pair, given its great-circle distance."""
+        """Effective routed path length for a pair, given its great-circle distance.
+
+        In array mode a pair's path is resolved once (positions are immutable
+        for a run); subsequent calls return the resolved path regardless of
+        the distance passed.
+        """
+        if self._pair_path_km is not None:
+            return self._resolve_pair(node_a, node_b, great_circle_km)
         factor, extra_km = self._routing_of(node_a, node_b)
         return great_circle_km * factor + extra_km
 
@@ -194,6 +287,8 @@ class LatencyModel:
         stream-exact when no routing draws interleave with the jitter draws,
         so callers check this before batching.
         """
+        if self._pair_flags is not None:
+            return bool(self._pair_flags[self._pair_index(node_a, node_b)] & _PAIR_FILLED)
         return self._pair_key(node_a, node_b) in self._routing
 
     def _path_km_for(
@@ -204,7 +299,14 @@ class LatencyModel:
         position_b: GeoPosition,
     ) -> float:
         """Cached routed path length between two positioned nodes."""
-        key = (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+        if self._pair_path_km is not None:
+            index = self._pair_index(node_a, node_b)
+            if self._pair_flags[index] & _PAIR_FILLED:
+                return float(self._pair_path_km[index])
+            return self._resolve_pair(
+                node_a, node_b, position_a.distance_km(position_b)
+            )
+        key = self._pair_key(node_a, node_b)
         cached = self._path_km_cache.get(key)
         if cached is None:
             cached = self.path_km(node_a, node_b, position_a.distance_km(position_b))
@@ -274,6 +376,39 @@ class LatencyModel:
             jitter_factor=jitter,
         )
 
+    def sample_rtts(
+        self,
+        node_a: int,
+        position_a: GeoPosition,
+        node_b: int,
+        position_b: GeoPosition,
+        count: int,
+    ) -> list[float]:
+        """``count`` stochastic RTT samples for one pair in one batched call.
+
+        Bit-identical to ``count`` sequential :meth:`sample_rtt` calls: the
+        pair's routing is resolved first (consuming the stream exactly like
+        the first sequential call would), then the jitter factors are drawn as
+        one array — numpy ``Generator`` array draws consume the bit stream
+        exactly like the same number of scalar draws.  This is the clustering
+        hot path: :class:`~repro.core.distance.DistanceCalculator` hammers it
+        during cluster formation.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        distance_km = self._path_km_for(node_a, position_a, node_b, position_b)
+        base = (
+            self.transmission_delay_s()
+            + 2.0 * self.propagation_delay_s(distance_km)
+            + self.queuing_delay_s()
+        )
+        minimum = self.parameters.minimum_rtt_s
+        sigma = self.parameters.congestion_jitter_sigma
+        if sigma <= 0:
+            return [max(minimum, base)] * count
+        factors = self._rng.lognormal(mean=0.0, sigma=sigma, size=count)
+        return [max(minimum, base * float(factor)) for factor in factors]
+
     def one_way_delay_s(
         self,
         node_a: int,
@@ -331,5 +466,17 @@ class LatencyModel:
 
     def pair_has_detour(self, node_a: int, node_b: int) -> bool:
         """Whether the pair's persistent routing includes a significant detour."""
+        if self._pair_flags is not None:
+            index = self._pair_index(node_a, node_b)
+            flags = self._pair_flags[index]
+            if flags & _PAIR_FILLED:
+                return bool(flags & _PAIR_DETOUR)
+            # Unresolved pair: draw its routing now (same stream position as
+            # dict mode) and park it until the path is first resolved.
+            key = self._pair_key(node_a, node_b)
+            routing = self._deferred_routing.get(key)
+            if routing is None:
+                routing = self._deferred_routing[key] = self._draw_routing()
+            return routing[1] > 0.0
         _, extra_km = self._routing_of(node_a, node_b)
         return extra_km > 0.0

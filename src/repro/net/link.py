@@ -156,6 +156,17 @@ class LinkDelayCalculator:
         """One stochastic ping RTT measurement between two connected nodes."""
         return self._latency.sample_rtt(node_a, position_a, node_b, position_b).rtt_s
 
+    def ping_rtts_s(
+        self,
+        node_a: int,
+        position_a: GeoPosition,
+        node_b: int,
+        position_b: GeoPosition,
+        count: int,
+    ) -> list[float]:
+        """``count`` stochastic ping RTTs in one batched (stream-exact) call."""
+        return self._latency.sample_rtts(node_a, position_a, node_b, position_b, count)
+
     def base_rtt_s(
         self,
         node_a: int,

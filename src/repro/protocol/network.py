@@ -182,12 +182,11 @@ class P2PNetwork:
 
         Returns:
             True if the message was scheduled, False if it was dropped
-            immediately (no connection or endpoint offline).
+            immediately (no connection).
         """
+        # No separate offline check: a live link implies both endpoints are
+        # online (see :meth:`broadcast`), so "no connection" covers it.
         if not self.topology.are_connected(sender_id, receiver_id):
-            self.messages_dropped += 1
-            return False
-        if not (self.is_online(sender_id) and self.is_online(receiver_id)):
             self.messages_dropped += 1
             return False
         self._send_prechecked(sender_id, receiver_id, message)
@@ -235,17 +234,16 @@ class P2PNetwork:
         """
         # Not delegated to multicast(): neighbours are connected by
         # construction, and this per-INV hot path must not pay multicast's
-        # per-peer are_connected lookup.
+        # per-peer are_connected lookup.  A live link implies both endpoints
+        # online (connect() refuses offline endpoints and set_online(False)
+        # tears down every link first), so there is no drop branch here: an
+        # offline sender has no neighbours and an offline peer is not a
+        # neighbour.  Copies only drop later, in _deliver, if an endpoint
+        # goes offline mid-flight.
         excluded = exclude or set()
-        sender_online = self.is_online(sender_id)
-        eligible: list[int] = []
-        for peer in self.neighbors(sender_id):
-            if peer in excluded:
-                continue
-            if sender_online and self.is_online(peer):
-                eligible.append(peer)
-            else:
-                self.messages_dropped += 1
+        eligible = [
+            peer for peer in self.neighbors(sender_id) if peer not in excluded
+        ]
         return self._fanout(sender_id, eligible, message)
 
     def multicast(
@@ -260,14 +258,15 @@ class P2PNetwork:
 
         Like :meth:`broadcast` but over a caller-chosen peer list (e.g. a
         push-relay strategy targeting only cluster links), with the same
-        batched congestion-jitter draws.  Peers that are not connected or not
-        online are dropped and counted, mirroring :meth:`send`.
+        batched congestion-jitter draws.  Peers that are not connected are
+        dropped and counted, mirroring :meth:`send`; a connected peer is
+        online by construction (see :meth:`broadcast`), so that is the only
+        drop branch.
 
         Returns:
             Number of copies scheduled.
         """
         excluded = exclude or set()
-        sender_online = self.is_online(sender_id)
         eligible: list[int] = []
         for peer in peers:
             if peer in excluded:
@@ -275,10 +274,7 @@ class P2PNetwork:
             if not self.topology.are_connected(sender_id, peer):
                 self.messages_dropped += 1
                 continue
-            if sender_online and self.is_online(peer):
-                eligible.append(peer)
-            else:
-                self.messages_dropped += 1
+            eligible.append(peer)
         return self._fanout(sender_id, eligible, message)
 
     def _fanout(self, sender_id: int, eligible: "list[int]", message: Message) -> int:
@@ -326,6 +322,18 @@ class P2PNetwork:
         """
         return self.delays.ping_rtt_s(
             node_a, self._positions[node_a], node_b, self._positions[node_b]
+        )
+
+    def measure_rtts(self, node_a: int, node_b: int, count: int) -> list[float]:
+        """``count`` stochastic ping RTT samples between two nodes, batch-drawn.
+
+        Bit-identical to ``count`` sequential :meth:`measure_rtt` calls (see
+        :meth:`~repro.net.latency.LatencyModel.sample_rtts`) but resolves the
+        pair's path once and draws the jitter factors as one array — the
+        vectorised lookup clustering policies lean on during cluster formation.
+        """
+        return self.delays.ping_rtts_s(
+            node_a, self._positions[node_a], node_b, self._positions[node_b], count
         )
 
     def base_rtt(self, node_a: int, node_b: int) -> float:

@@ -118,6 +118,15 @@ class NodeConfig:
         max_orphan_blocks: cap on blocks stashed while their parent is still
             missing; the oldest stashed block is evicted first (bounded FIFO),
             so heavy churn cannot grow the orphan pool without limit.
+        prune_depth: when set, inventory state about blocks buried at least
+            this many confirmations deep — ``known_blocks`` entries, the
+            ``known_transactions`` / first-seen / accept-time records of their
+            confirmed transactions — is dropped after each best-chain
+            extension.  The blockchain itself is never pruned; a late INV for
+            a pruned hash is answered from the chain index instead of the
+            inventory sets, so behaviour is unchanged.  None (the default)
+            keeps every record forever, which is exact but grows without bound
+            on long runs at 10k-node scale.
     """
 
     max_outbound: int = 8
@@ -130,12 +139,15 @@ class NodeConfig:
     relay_strategy: str = "flood"
     getdata_retry_s: float = 30.0
     max_orphan_blocks: int = 64
+    prune_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.getdata_retry_s <= 0:
             raise ValueError("getdata_retry_s must be positive")
         if self.max_orphan_blocks <= 0:
             raise ValueError("max_orphan_blocks must be positive")
+        if self.prune_depth is not None and self.prune_depth < 1:
+            raise ValueError("prune_depth must be at least 1 (or None to disable)")
 
 
 @dataclass
@@ -166,6 +178,10 @@ class NodeStatistics:
     compact_fallbacks: int = 0
     #: Full blocks pushed unsolicited to cluster peers (``"push"`` only).
     blocks_pushed: int = 0
+    #: Stale-state pruning sweeps executed (``prune_depth`` set only).
+    state_prunes: int = 0
+    #: Inventory records (known hashes, first-seen/accept times) pruned.
+    pruned_inventory_entries: int = 0
 
 
 class BitcoinNode:
@@ -233,6 +249,9 @@ class BitcoinNode:
         #: ``config.max_orphan_blocks`` with FIFO eviction.
         self._orphan_blocks: dict[str, list[Block]] = {}
         self._orphan_count = 0
+        #: Highest best-chain height whose inventory state has been pruned
+        #: (``config.prune_depth``); genesis (height 0) is never pruned.
+        self._pruned_height = 0
 
         #: External observers notified when a transaction is accepted locally,
         #: as ``listener(node_id, transaction, accepted_at)``.  This is the
@@ -516,7 +535,45 @@ class BitcoinNode:
         self._orphan_count -= len(waiting)
         for orphan in waiting:
             self.accept_block(orphan, origin_peer=None)
+        if tip_changed and self.config.prune_depth is not None:
+            self._prune_stale_state()
         return True
+
+    def _prune_stale_state(self) -> None:
+        """Drop inventory records about blocks buried ``prune_depth`` deep.
+
+        Once a block has ``prune_depth`` confirmations its hash — and the
+        first-seen/accept bookkeeping of its transactions — no longer needs a
+        per-node inventory entry: any late INV is answered from the chain
+        index (see ``RelayStrategy._classify``), which the node keeps anyway.
+        Pruning is driven by best-chain extension, never by timers, so a run
+        still drains to a natural fixpoint and ``workers=N`` determinism is
+        untouched.  Each sweep covers only the heights newly buried since the
+        last one, so the cost per accepted block is O(1) amortised.
+        """
+        depth = self.config.prune_depth
+        assert depth is not None
+        horizon = self.blockchain.height - depth
+        if horizon <= self._pruned_height:
+            return
+        removed = 0
+        chain = self.blockchain.best_chain()
+        # Slice starts at 1 at the earliest, so genesis (height 0) survives.
+        for block in chain[self._pruned_height + 1 : horizon + 1]:
+            if block.block_hash in self.known_blocks:
+                self.known_blocks.remove(block.block_hash)
+                removed += 1
+            for txid in block.txids:
+                if txid in self.known_transactions:
+                    self.known_transactions.remove(txid)
+                    removed += 1
+                if self.transaction_first_seen_times.pop(txid, None) is not None:
+                    removed += 1
+                if self.transaction_accept_times.pop(txid, None) is not None:
+                    removed += 1
+        self._pruned_height = horizon
+        self.stats.state_prunes += 1
+        self.stats.pruned_inventory_entries += removed
 
     def _stash_orphan(self, block: Block) -> None:
         """Stash a parent-less block, evicting the oldest beyond the cap.

@@ -43,7 +43,7 @@ Scenarios select a strategy through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.protocol.block import Block, merkle_root
 from repro.protocol.messages import (
@@ -166,7 +166,14 @@ class RelayStrategy:
         network = self._network()
         if message.inventory_type is InventoryType.TRANSACTION:
             unknown, stale = self._classify(
-                message.hashes, node.known_transactions, self.pending_tx_requests
+                message.hashes,
+                node.known_transactions,
+                self.pending_tx_requests,
+                confirmed=(
+                    node.blockchain.contains_transaction
+                    if node.config.prune_depth is not None
+                    else None
+                ),
             )
             to_request = unknown + stale
             if not to_request:
@@ -188,7 +195,14 @@ class RelayStrategy:
             )
         else:
             unknown, stale = self._classify(
-                message.hashes, node.known_blocks, self.pending_block_requests
+                message.hashes,
+                node.known_blocks,
+                self.pending_block_requests,
+                confirmed=(
+                    node.blockchain.has_block
+                    if node.config.prune_depth is not None
+                    else None
+                ),
             )
             to_request = unknown + stale
             if not to_request:
@@ -201,6 +215,7 @@ class RelayStrategy:
         hashes: tuple[str, ...],
         known: set[str],
         pending: dict[str, float],
+        confirmed: Optional[Callable[[str], bool]] = None,
     ) -> tuple[list[str], list[str]]:
         """Split announced hashes into (never requested, stale in-flight).
 
@@ -210,6 +225,11 @@ class RelayStrategy:
         ``NodeConfig.getdata_retry_s`` is considered lost (the serving peer
         churned away, the reply was dropped with a link) and re-issued to the
         announcing peer, counted in ``stats.getdata_retries``.
+
+        ``confirmed`` is the pruning escape hatch (``NodeConfig.prune_depth``):
+        a hash absent from the inventory set but confirmed on the best chain
+        was *pruned*, not forgotten, and is treated exactly like a known hash
+        instead of being re-requested.
         """
         node = self.node
         retry_after = node.config.getdata_retry_s
@@ -218,6 +238,8 @@ class RelayStrategy:
         stale: list[str] = []
         for h in hashes:
             if h in known:
+                continue
+            if confirmed is not None and confirmed(h):
                 continue
             requested_at = pending.get(h)
             if requested_at is None:

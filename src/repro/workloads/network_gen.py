@@ -5,12 +5,31 @@ geography, latency and bandwidth models, link delay calculator, P2P fabric,
 nodes and DNS seed — from a single :class:`NetworkParameters` description, and
 returns them bundled in a :class:`SimulatedNetwork`.  All experiments,
 examples and most tests start from here.
+
+Network snapshots
+-----------------
+
+Building a large network is expensive (position sampling, node construction,
+registration), and a (point × seed) experiment grid rebuilds the *same*
+network for every point sharing a seed.  :func:`save_network` /
+:func:`load_network` snapshot a freshly-built network to disk so the grid
+builds each (node count, seed) network once and every cell resumes from its
+own private copy.  Snapshots are stream-exact: every random stream is derived
+by name from the master seed (creation-order independent) and numpy
+``Generator`` objects pickle with their exact bit-stream position, so
+build → save → load → run is byte-identical to build → run.  Only *quiescent*
+networks snapshot — no pending events, no live processes — which is exactly
+the state :func:`build_network` returns.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 from repro.net.bandwidth import BandwidthModel
 from repro.net.churn import SessionLengthModel, SessionParameters
@@ -113,7 +132,14 @@ def build_network(parameters: Optional[NetworkParameters] = None) -> SimulatedNe
     simulator = Simulator(seed=params.seed, trace=params.trace)
 
     geo_model = GeoModel(simulator.random.stream("geo"), regions=params.regions)
-    latency_model = LatencyModel(simulator.random.stream("latency"), parameters=params.latency)
+    # Array mode: per-pair routing state in flat numpy arrays instead of dicts
+    # (byte-identical streams; see LatencyModel).  This is what bounds memory
+    # at 10k-node scale.
+    latency_model = LatencyModel(
+        simulator.random.stream("latency"),
+        parameters=params.latency,
+        node_count=params.node_count,
+    )
     bandwidth_model = (
         BandwidthModel(simulator.random.stream("bandwidth")) if params.use_bandwidth_model else None
     )
@@ -159,3 +185,77 @@ def build_network(parameters: Optional[NetworkParameters] = None) -> SimulatedNe
         session_model=session_model,
         genesis=genesis,
     )
+
+
+# ------------------------------------------------------------------ snapshots
+def save_network(simulated: SimulatedNetwork, path: Union[str, Path]) -> Path:
+    """Snapshot a quiescent network to ``path`` (pickle, written atomically).
+
+    The network must be at rest: a pending event or a live process would pull
+    scheduled callbacks (closures, generators) into the pickle and make the
+    resumed run diverge from — or fail against — a freshly-built one.  The
+    output of :func:`build_network`, before any policy runs, always qualifies.
+
+    Raises:
+        ValueError: if the network has pending events or live processes.
+    """
+    simulator = simulated.simulator
+    if simulator.pending_events:
+        raise ValueError(
+            f"cannot snapshot a network with {simulator.pending_events} pending "
+            "event(s); snapshots capture quiescent networks only"
+        )
+    if any(process.alive for process in simulator._processes):
+        raise ValueError(
+            "cannot snapshot a network with live processes; snapshots capture "
+            "quiescent networks only"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "wb") as handle:
+        pickle.dump(simulated, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    # Atomic publish: a concurrent reader sees either no file or a full one.
+    os.replace(tmp_path, path)
+    return path
+
+
+def load_network(path: Union[str, Path]) -> SimulatedNetwork:
+    """Load a network snapshot written by :func:`save_network`.
+
+    Every load returns a fresh, fully independent copy: random streams resume
+    at their exact saved bit positions, so running a policy/campaign on the
+    loaded network is byte-identical to running it on the network the snapshot
+    was taken from.
+    """
+    with open(path, "rb") as handle:
+        simulated = pickle.load(handle)
+    if not isinstance(simulated, SimulatedNetwork):
+        raise TypeError(f"{path} is not a SimulatedNetwork snapshot: {type(simulated)!r}")
+    return simulated
+
+
+def snapshot_filename(parameters: NetworkParameters) -> str:
+    """Deterministic snapshot filename for one parameter set.
+
+    Node count and seed are spelled out for human eyes; the digest over the
+    full parameter repr distinguishes builds that differ in any other knob.
+    """
+    digest = hashlib.sha256(repr(parameters).encode()).hexdigest()[:12]
+    return f"network-n{parameters.node_count}-s{parameters.seed}-{digest}.pkl"
+
+
+def ensure_network_snapshot(
+    parameters: NetworkParameters, directory: Union[str, Path]
+) -> Path:
+    """Build-and-save a network snapshot unless an identical one exists.
+
+    The cache key is :func:`snapshot_filename`, so every distinct parameter
+    set gets its own file and repeated calls (across points of an experiment
+    grid) reuse the first build.
+    """
+    directory = Path(directory)
+    path = directory / snapshot_filename(parameters)
+    if not path.exists():
+        save_network(build_network(parameters), path)
+    return path

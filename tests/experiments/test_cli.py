@@ -43,6 +43,10 @@ TINY_ARGS = {
         "--relays", "flood", "compact", "--protocols", "bitcoin", "bcbpt",
         "--blocks", "1", "--txs-per-block", "2",
     ],
+    "scale": [
+        "--nodes", "30", "--runs", "1", "--seeds", "3", "--measuring-nodes", "1",
+        "--node-counts", "20", "30", "--protocols", "bitcoin", "--cell-runs", "1",
+    ],
     "validation": [
         "--nodes", "40", "--runs", "2", "--seeds", "3", "--measuring-nodes", "1",
         "--crawler-samples", "500",

@@ -1,0 +1,153 @@
+"""Regression tests pinning the drop-counter semantics of the network fabric.
+
+A live link implies both endpoints are online: ``connect`` refuses offline
+endpoints and ``set_online(False)`` tears down every link before anything
+else observes the node as offline.  ``send``/``broadcast``/``multicast``
+therefore only ever drop on a *missing connection* at schedule time; the
+offline case surfaces as a missing link.  Messages already in flight when an
+endpoint goes offline are dropped at delivery time by ``_deliver``.  These
+tests pin each of those paths so a future refactor cannot silently change
+what ``messages_dropped`` counts.
+"""
+
+from repro.protocol.messages import InvMessage, PingMessage
+
+
+class TestSendDrops:
+    def test_send_over_live_link_schedules(self, small_network):
+        network = small_network.network
+        network.connect(0, 1)
+        before = network.messages_dropped
+        assert network.send(0, 1, PingMessage(sender=0))
+        assert network.messages_dropped == before
+
+    def test_send_without_connection_drops_once(self, small_network):
+        network = small_network.network
+        before = network.messages_dropped
+        assert not network.send(0, 1, PingMessage(sender=0))
+        assert network.messages_dropped == before + 1
+
+    def test_send_to_offline_peer_drops_via_missing_link(self, small_network):
+        # Going offline tears the link down, so the drop is accounted by the
+        # connection check — exactly once, not once per precondition.
+        network = small_network.network
+        network.connect(0, 1)
+        network.set_online(1, False)
+        assert 1 not in network.neighbors(0)
+        before = network.messages_dropped
+        assert not network.send(0, 1, PingMessage(sender=0))
+        assert network.messages_dropped == before + 1
+
+    def test_send_from_offline_sender_drops_once(self, small_network):
+        network = small_network.network
+        network.connect(0, 1)
+        network.set_online(0, False)
+        before = network.messages_dropped
+        assert not network.send(0, 1, PingMessage(sender=0))
+        assert network.messages_dropped == before + 1
+
+
+class TestBroadcastDrops:
+    def test_broadcast_reaches_every_neighbor_without_drops(self, small_network):
+        network = small_network.network
+        for peer in (1, 2, 3):
+            network.connect(0, peer)
+        before = network.messages_dropped
+        sent = network.broadcast(0, InvMessage(sender=0, hashes=("h",)))
+        assert sent == 3
+        assert network.messages_dropped == before
+
+    def test_broadcast_excluded_peer_is_not_a_drop(self, small_network):
+        network = small_network.network
+        for peer in (1, 2, 3):
+            network.connect(0, peer)
+        before = network.messages_dropped
+        sent = network.broadcast(0, InvMessage(sender=0, hashes=("h",)), exclude={2})
+        assert sent == 2
+        assert network.messages_dropped == before
+
+    def test_broadcast_skips_offline_peer_without_counting_a_drop(self, small_network):
+        # The offline peer is no longer a neighbour, so it is neither sent to
+        # nor counted as a drop: nothing was scheduled towards it.
+        network = small_network.network
+        for peer in (1, 2, 3):
+            network.connect(0, peer)
+        network.set_online(2, False)
+        before = network.messages_dropped
+        sent = network.broadcast(0, InvMessage(sender=0, hashes=("h",)))
+        assert sent == 2
+        assert network.messages_dropped == before
+
+    def test_broadcast_from_offline_sender_is_a_noop(self, small_network):
+        network = small_network.network
+        for peer in (1, 2):
+            network.connect(0, peer)
+        network.set_online(0, False)
+        before = network.messages_dropped
+        assert network.broadcast(0, InvMessage(sender=0, hashes=("h",))) == 0
+        assert network.messages_dropped == before
+
+
+class TestMulticastDrops:
+    def test_multicast_counts_unconnected_peers(self, small_network):
+        network = small_network.network
+        network.connect(0, 1)
+        before = network.messages_dropped
+        sent = network.multicast(0, [1, 2, 3], InvMessage(sender=0, hashes=("h",)))
+        assert sent == 1
+        assert network.messages_dropped == before + 2
+
+    def test_multicast_offline_peer_counts_as_unconnected(self, small_network):
+        network = small_network.network
+        network.connect(0, 1)
+        network.connect(0, 2)
+        network.set_online(2, False)
+        before = network.messages_dropped
+        sent = network.multicast(0, [1, 2], InvMessage(sender=0, hashes=("h",)))
+        assert sent == 1
+        assert network.messages_dropped == before + 1
+
+    def test_multicast_excluded_peer_is_not_a_drop(self, small_network):
+        network = small_network.network
+        network.connect(0, 1)
+        network.connect(0, 2)
+        before = network.messages_dropped
+        sent = network.multicast(
+            0, [1, 2], InvMessage(sender=0, hashes=("h",)), exclude={2}
+        )
+        assert sent == 1
+        assert network.messages_dropped == before
+
+
+class TestMidFlightDrops:
+    def test_receiver_going_offline_mid_flight_drops_at_delivery(self, small_network):
+        network = small_network.network
+        simulator = small_network.simulator
+        network.connect(0, 1)
+        assert network.send(0, 1, PingMessage(sender=0))
+        before = network.messages_dropped
+        network.set_online(1, False)
+        simulator.run(until=5.0)
+        assert network.node(1).stats.pings_received == 0
+        assert network.messages_dropped == before + 1
+
+    def test_link_torn_down_mid_flight_drops_at_delivery(self, small_network):
+        network = small_network.network
+        simulator = small_network.simulator
+        network.connect(0, 1)
+        assert network.send(0, 1, PingMessage(sender=0))
+        before = network.messages_dropped
+        network.disconnect(0, 1)
+        simulator.run(until=5.0)
+        assert network.node(1).stats.pings_received == 0
+        assert network.messages_dropped == before + 1
+
+    def test_delivery_survives_if_link_restored(self, small_network):
+        network = small_network.network
+        simulator = small_network.simulator
+        network.connect(0, 1)
+        assert network.send(0, 1, PingMessage(sender=0))
+        before = network.messages_dropped
+        simulator.run(until=5.0)
+        assert network.node(1).stats.pings_received == 1
+        assert network.messages_dropped == before

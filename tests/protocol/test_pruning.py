@@ -1,0 +1,188 @@
+"""Tests for in-run stale-state pruning (``NodeConfig.prune_depth``).
+
+Pruning drops per-node inventory bookkeeping about blocks buried deep on the
+best chain (and the confirmed transactions inside them) while keeping the
+chain itself intact.  These tests pin the contract: off by default, buried
+state removed and recent state kept when enabled, genesis never pruned, and a
+late INV for a pruned hash suppressed via the chain index instead of
+triggering a spurious GETDATA.
+"""
+
+import pytest
+
+from repro.protocol.block import Block
+from repro.protocol.crypto import KeyPair
+from repro.protocol.messages import InvMessage, InventoryType
+from repro.protocol.node import NodeConfig
+from repro.protocol.transaction import Transaction
+from repro.workloads.network_gen import NetworkParameters, build_network
+
+
+def build_pair(prune_depth=None):
+    """A two-node connected network, node 0 under test."""
+    params = NetworkParameters(
+        node_count=2, seed=1, node_config=NodeConfig(prune_depth=prune_depth)
+    )
+    simulated = build_network(params)
+    simulated.network.connect(0, 1)
+    return simulated
+
+
+def extend_chain(node, blocks):
+    """Feed ``blocks`` new valid coinbase-only blocks to ``node``.
+
+    Each block's transactions are also registered in the node's inventory
+    maps first, as if they had been relayed before being mined — that is the
+    state pruning is supposed to reclaim.
+    """
+    miner = KeyPair.generate("pruning-miner")
+    accepted = []
+    for index in range(blocks):
+        parent = node.blockchain.tip
+        coinbase = Transaction.coinbase(
+            miner.address, 50, tag=f"prune-cb-{parent.height}-{index}"
+        )
+        node.known_transactions.add(coinbase.txid)
+        node.transaction_first_seen_times[coinbase.txid] = 0.5
+        node.transaction_accept_times[coinbase.txid] = 1.0
+        block = Block.create(
+            parent, [coinbase], timestamp=float(index + 1), nonce=index, miner_id=1
+        )
+        assert node.accept_block(block, origin_peer=None)
+        accepted.append(block)
+    return accepted
+
+
+class TestConfigValidation:
+    def test_default_is_disabled(self):
+        assert NodeConfig().prune_depth is None
+
+    @pytest.mark.parametrize("depth", [0, -1])
+    def test_non_positive_depth_rejected(self, depth):
+        with pytest.raises(ValueError, match="prune_depth"):
+            NodeConfig(prune_depth=depth)
+
+    def test_depth_one_accepted(self):
+        assert NodeConfig(prune_depth=1).prune_depth == 1
+
+
+class TestPruningDisabled:
+    def test_no_state_removed_without_prune_depth(self):
+        simulated = build_pair(prune_depth=None)
+        node = simulated.node(0)
+        blocks = extend_chain(node, 5)
+        assert node.stats.state_prunes == 0
+        assert node.stats.pruned_inventory_entries == 0
+        for block in blocks:
+            assert block.block_hash in node.known_blocks
+            for txid in block.txids:
+                assert txid in node.known_transactions
+                assert txid in node.transaction_first_seen_times
+                assert txid in node.transaction_accept_times
+
+
+class TestPruningEnabled:
+    def test_buried_state_removed_recent_kept(self):
+        simulated = build_pair(prune_depth=2)
+        node = simulated.node(0)
+        blocks = extend_chain(node, 6)
+        # Height 6, depth 2 -> heights 1..4 pruned, 5..6 retained.
+        buried, recent = blocks[:4], blocks[4:]
+        for block in buried:
+            assert block.block_hash not in node.known_blocks
+            for txid in block.txids:
+                assert txid not in node.known_transactions
+                assert txid not in node.transaction_first_seen_times
+                assert txid not in node.transaction_accept_times
+        for block in recent:
+            assert block.block_hash in node.known_blocks
+            for txid in block.txids:
+                assert txid in node.known_transactions
+        assert node.stats.state_prunes > 0
+        # 1 block hash + 1 known txid + 2 time records per buried block.
+        assert node.stats.pruned_inventory_entries == 4 * len(buried)
+
+    def test_genesis_never_pruned(self):
+        simulated = build_pair(prune_depth=1)
+        node = simulated.node(0)
+        extend_chain(node, 8)
+        assert node.blockchain.genesis.block_hash in node.known_blocks
+
+    def test_chain_itself_retained(self):
+        simulated = build_pair(prune_depth=1)
+        node = simulated.node(0)
+        blocks = extend_chain(node, 5)
+        for block in blocks:
+            assert node.blockchain.has_block(block.block_hash)
+
+    def test_sweep_is_incremental(self):
+        simulated = build_pair(prune_depth=1)
+        node = simulated.node(0)
+        extend_chain(node, 4)
+        assert node._pruned_height == node.blockchain.height - 1
+        entries_so_far = node.stats.pruned_inventory_entries
+        extend_chain(node, 1)
+        # One more block buried -> exactly one more sweep over one height.
+        assert node.stats.pruned_inventory_entries == entries_so_far + 4
+
+
+class TestPrunedInvSuppression:
+    @staticmethod
+    def drain(simulated):
+        """Let the announce/getdata traffic from chain building settle."""
+        simulated.simulator.run(until=100.0)
+
+    def test_inv_for_pruned_tx_sends_no_getdata(self):
+        simulated = build_pair(prune_depth=1)
+        node = simulated.node(0)
+        blocks = extend_chain(node, 4)
+        self.drain(simulated)
+        pruned_txid = next(iter(blocks[0].txids))
+        assert pruned_txid not in node.known_transactions
+        before = node.stats.getdata_sent
+        simulated.network.send(
+            1,
+            0,
+            InvMessage(
+                sender=1,
+                inventory_type=InventoryType.TRANSACTION,
+                hashes=(pruned_txid,),
+            ),
+        )
+        simulated.simulator.run(until=200.0)
+        assert node.stats.getdata_sent == before
+        assert node.stats.duplicate_invs >= 1
+        # The pruned tx must not re-enter the first-seen map.
+        assert pruned_txid not in node.transaction_first_seen_times
+
+    def test_inv_for_pruned_block_sends_no_getdata(self):
+        simulated = build_pair(prune_depth=1)
+        node = simulated.node(0)
+        blocks = extend_chain(node, 4)
+        self.drain(simulated)
+        pruned_hash = blocks[0].block_hash
+        assert pruned_hash not in node.known_blocks
+        before = simulated.network.messages_sent["getdata"]
+        simulated.network.send(
+            1,
+            0,
+            InvMessage(
+                sender=1, inventory_type=InventoryType.BLOCK, hashes=(pruned_hash,)
+            ),
+        )
+        simulated.simulator.run(until=200.0)
+        assert simulated.network.messages_sent["getdata"] == before
+
+    def test_inv_for_truly_unknown_block_still_requested(self):
+        simulated = build_pair(prune_depth=1)
+        node = simulated.node(0)
+        extend_chain(node, 4)
+        self.drain(simulated)
+        before = simulated.network.messages_sent["getdata"]
+        simulated.network.send(
+            1,
+            0,
+            InvMessage(sender=1, inventory_type=InventoryType.BLOCK, hashes=("f" * 64,)),
+        )
+        simulated.simulator.run(until=200.0)
+        assert simulated.network.messages_sent["getdata"] == before + 1
