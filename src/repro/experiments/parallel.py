@@ -356,6 +356,14 @@ class RelayJobResult:
     compact_txs_requested: int
     compact_fallbacks: int
     blocks_pushed: int
+    compact_txn_timeouts: int = 0
+    adaptive_fanout_widened: int = 0
+    adaptive_fanout_narrowed: int = 0
+    mean_final_fanout: float = float("nan")
+    fanout_samples: tuple[tuple[float, int], ...] = ()
+    getheaders_sent: int = 0
+    headers_received: int = 0
+    header_bodies_requested: int = 0
 
 
 def run_relay_job(job: RelayJob) -> RelayJobResult:

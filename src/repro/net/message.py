@@ -39,6 +39,16 @@ BLOCK_TXN_REQUEST_BYTES = 33
 #: three bytes is a conservative flat estimate).
 BLOCK_TXN_INDEX_BYTES = 3
 
+#: Fixed getheaders overhead: 4-byte version + 1-byte locator count + the
+#: 32-byte stop hash.
+GET_HEADERS_FIXED_BYTES = 37
+
+#: Per-entry size of a block-locator hash in a getheaders request.
+GET_HEADERS_LOCATOR_BYTES = 32
+
+#: Per-entry size in a headers reply (80-byte header + 1-byte tx count).
+HEADERS_ENTRY_BYTES = 81
+
 #: Ping / pong payload: an 8-byte nonce.
 PING_PAYLOAD_BYTES = 8
 
@@ -83,6 +93,8 @@ def message_size_bytes(command: str, payload: Any = None) -> int:
             * ``cmpctblock`` — payload bytes (header + short ids + coinbase);
             * ``getblocktxn`` — number of requested transaction indexes (int);
             * ``blocktxn`` — total bytes of the returned transactions (int);
+            * ``getheaders`` — number of block-locator hashes (int);
+            * ``headers`` — number of block headers (int);
             * fixed-size commands ignore the payload.
 
     Returns:
@@ -121,6 +133,16 @@ def message_size_bytes(command: str, payload: Any = None) -> int:
         if size < 0:
             raise ValueError(f"transaction bytes cannot be negative, got {size}")
         return HEADER_BYTES + BLOCK_TXN_REQUEST_BYTES + size
+    if command == "getheaders":
+        count = int(payload) if payload is not None else 1
+        if count < 0:
+            raise ValueError(f"locator count cannot be negative, got {count}")
+        return HEADER_BYTES + GET_HEADERS_FIXED_BYTES + count * GET_HEADERS_LOCATOR_BYTES
+    if command == "headers":
+        count = int(payload) if payload is not None else 1
+        if count < 0:
+            raise ValueError(f"header count cannot be negative, got {count}")
+        return HEADER_BYTES + 1 + count * HEADERS_ENTRY_BYTES
     if command in ("addr", "cluster_members"):
         count = int(payload) if payload is not None else 1
         if count < 0:

@@ -220,6 +220,44 @@ class BlockTxnMessage(Message):
 
 
 @dataclass(frozen=True)
+class GetHeadersMessage(Message):
+    """Request for the headers extending the requester's best chain.
+
+    ``locator`` is a block locator: best-chain hashes starting at the tip with
+    exponentially growing gaps, ending at genesis.  The responder finds the
+    highest locator entry on its own best chain and replies with the headers
+    that follow it (:class:`HeadersMessage`), so one round-trip discovers the
+    whole gap however far behind the requester is.  ``stop_hash`` optionally
+    truncates the reply at a specific block (empty means "as many as fit").
+    """
+
+    locator: tuple[str, ...] = ()
+    stop_hash: str = ""
+    command: str = field(default="getheaders", init=False, repr=False)
+
+    def wire_payload(self) -> int:
+        return len(self.locator)
+
+
+@dataclass(frozen=True)
+class HeadersMessage(Message):
+    """Delivery of block headers (reply to GETHEADERS, or a BIP 130-style
+    headers-first block announcement).
+
+    ``heights`` carries the chain height of each header; the real protocol
+    derives heights from the parent linkage, so the wire size stays 81 bytes
+    per entry (80-byte header plus the empty tx-count byte).
+    """
+
+    headers: tuple[BlockHeader, ...] = ()
+    heights: tuple[int, ...] = ()
+    command: str = field(default="headers", init=False, repr=False)
+
+    def wire_payload(self) -> int:
+        return len(self.headers)
+
+
+@dataclass(frozen=True)
 class JoinMessage(Message):
     """Cluster-join request sent to the closest discovered node (Section IV.B)."""
 

@@ -104,7 +104,8 @@ class NodeConfig:
             paper-figure baselines; churn scenarios
             (:class:`~repro.workloads.scenarios.ChurnSchedule`) opt in.
         relay_strategy: name of the :class:`~repro.protocol.relay.RelayStrategy`
-            the node runs (``"flood"``, ``"compact"`` or ``"push"`` — see
+            the node runs (``"flood"``, ``"compact"``, ``"push"``,
+            ``"adaptive"`` or ``"headers"`` — see
             :data:`~repro.protocol.relay.RELAY_NAMES`).  ``"flood"`` is the
             paper's INV/GETDATA baseline and reproduces the pre-strategy
             behaviour byte-for-byte in static scenarios; under churn the
@@ -118,6 +119,12 @@ class NodeConfig:
         max_orphan_blocks: cap on blocks stashed while their parent is still
             missing; the oldest stashed block is evicted first (bounded FIFO),
             so heavy churn cannot grow the orphan pool without limit.
+        mempool_max_size: cap on unconfirmed transactions the mempool holds
+            (:class:`~repro.protocol.mempool.Mempool` ``max_size``).  A
+            transaction rejected *only* because the pool is at capacity is
+            forgotten again (``stats.mempool_capacity_drops``) so a later INV
+            can re-offer it once the pool drains.  None (the default) leaves
+            the pool unbounded, the historical behaviour.
         prune_depth: when set, inventory state about blocks buried at least
             this many confirmations deep — ``known_blocks`` entries, the
             ``known_transactions`` / first-seen / accept-time records of their
@@ -139,6 +146,7 @@ class NodeConfig:
     relay_strategy: str = "flood"
     getdata_retry_s: float = 30.0
     max_orphan_blocks: int = 64
+    mempool_max_size: Optional[int] = None
     prune_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -146,6 +154,8 @@ class NodeConfig:
             raise ValueError("getdata_retry_s must be positive")
         if self.max_orphan_blocks <= 0:
             raise ValueError("max_orphan_blocks must be positive")
+        if self.mempool_max_size is not None and self.mempool_max_size < 1:
+            raise ValueError("mempool_max_size must be at least 1 (or None for unbounded)")
         if self.prune_depth is not None and self.prune_depth < 1:
             raise ValueError("prune_depth must be at least 1 (or None to disable)")
 
@@ -176,8 +186,20 @@ class NodeStatistics:
     compact_blocks_reconstructed: int = 0
     compact_txs_requested: int = 0
     compact_fallbacks: int = 0
+    #: GETBLOCKTXN round-trips that timed out and fell back to a full fetch.
+    compact_txn_timeouts: int = 0
     #: Full blocks pushed unsolicited to cluster peers (``"push"`` only).
     blocks_pushed: int = 0
+    #: Transactions rejected *only* because the mempool was at capacity; the
+    #: txid is deliberately forgotten so a later INV can re-offer it.
+    mempool_capacity_drops: int = 0
+    #: Adaptive fan-out width adjustments (``relay_strategy="adaptive"``).
+    adaptive_fanout_widened: int = 0
+    adaptive_fanout_narrowed: int = 0
+    #: Headers-first sync activity (``relay_strategy="headers"``).
+    getheaders_sent: int = 0
+    headers_received: int = 0
+    header_bodies_requested: int = 0
     #: Stale-state pruning sweeps executed (``prune_depth`` set only).
     state_prunes: int = 0
     #: Inventory records (known hashes, first-seen/accept times) pruned.
@@ -217,7 +239,7 @@ class BitcoinNode:
         self.validator = validator if validator is not None else TransactionValidator()
         self.keypair = keypair if keypair is not None else KeyPair.generate(f"node-{node_id}-wallet")
         self.blockchain = Blockchain(genesis)
-        self.mempool = Mempool()
+        self.mempool = Mempool(max_size=self.config.mempool_max_size)
         self.stats = NodeStatistics()
 
         #: Confirmed UTXO state; kept incrementally in sync with the best chain.
@@ -295,12 +317,14 @@ class BitcoinNode:
     def on_connected(self, peer_id: int) -> None:
         """Called by the network when a connection to ``peer_id`` is established."""
         self.address_book.add(peer_id)
+        self.relay.on_peer_connected(peer_id)
         if self.config.resync_on_reconnect:
             self._sync_with_peer(peer_id)
 
     def on_disconnected(self, peer_id: int) -> None:
         """Called by the network when the connection to ``peer_id`` is torn down."""
         # The address stays in the address book; only the live link is gone.
+        self.relay.on_peer_disconnected(peer_id)
 
     # ------------------------------------------------------ session lifecycle
     def on_offline(self, at: Optional[float] = None) -> None:
@@ -324,29 +348,19 @@ class BitcoinNode:
         """
 
     def _sync_with_peer(self, peer_id: int) -> None:
-        """Announce best-tip and mempool inventory over a fresh connection.
+        """Catch up chain and mempool inventory over a fresh connection.
 
-        Both endpoints run this (each side's ``on_connected`` fires), so a
-        rejoining node simultaneously learns the chain it missed — the peer's
-        tip INV leads to GETDATA, and unknown parents are requested
-        recursively by :meth:`accept_block` — and offers what it still holds.
-        Announcing the genesis-only tip or an empty mempool is skipped, which
-        also makes this a no-op during initial topology construction.
+        Both endpoints run this (each side's ``on_connected`` fires).  The
+        chain half is delegated to the relay strategy: the flood baseline
+        announces its tip with an INV (the peer GETDATAs it and unknown
+        parents are walked through :meth:`accept_block`'s orphan path), while
+        the headers-first strategy instead asks the peer for everything it
+        missed with one GETHEADERS round-trip.  The mempool half stays an INV
+        of pending txids.  Empty offers are skipped, which also makes this a
+        no-op during initial topology construction.
         """
         network = self._require_network()
-        announced = False
-        tip = self.blockchain.tip
-        if tip.block_hash != self.blockchain.genesis.block_hash:
-            network.send(
-                self.node_id,
-                peer_id,
-                InvMessage(
-                    sender=self.node_id,
-                    inventory_type=InventoryType.BLOCK,
-                    hashes=(tip.block_hash,),
-                ),
-            )
-            announced = True
+        announced = self.relay.sync_chain_with_peer(peer_id)
         mempool_txids = tuple(sorted(tx.txid for tx in self.mempool.transactions()))
         if mempool_txids:
             network.send(
@@ -432,11 +446,19 @@ class BitcoinNode:
         if self.blockchain.contains_transaction(tx.txid):
             return result
         if not self.mempool.add(tx, arrival_time=self.now):
-            # Conflict with a first-seen transaction or duplicate.
+            # Conflict with a first-seen transaction, duplicate, or full pool.
             if tx.txid not in self.mempool:
                 conflicting = self.mempool.conflicting_txid(tx)
                 if conflicting is not None:
                     self._observe_conflict(tx, conflicting, origin_peer=origin_peer)
+                elif self.mempool.is_full():
+                    # Rejected purely for capacity — no verdict on the tx
+                    # itself.  Keeping the txid in the known-set would make
+                    # the drop permanent: every later INV would be suppressed
+                    # as a duplicate and the tx could never be re-requested
+                    # once the pool drains.
+                    self.known_transactions.discard(tx.txid)
+                    self.stats.mempool_capacity_drops += 1
             self.stats.transactions_rejected += 1
             return ValidationResult(False, None, result.verification_cost_s)
         self.stats.transactions_accepted += 1
@@ -506,11 +528,13 @@ class BitcoinNode:
         if self.blockchain.has_block(block.block_hash):
             return False
         if not self.blockchain.has_block(block.previous_hash):
-            # Parent unknown: stash the block and request the parent, so the
-            # whole branch is replayed once the gap fills in.
+            # Parent unknown: stash the block and request the parent (through
+            # the pending-request dedup — an orphan burst on the same branch
+            # must not re-send the GETDATA or refresh its retry clock), so
+            # the whole branch is replayed once the gap fills in.
             self._stash_orphan(block)
             if origin_peer is not None:
-                self.relay.request_blocks(origin_peer, (block.previous_hash,))
+                self.relay.request_parent(origin_peer, block.previous_hash)
             return False
         parent = self.blockchain.get_block(block.previous_hash)
         parent_utxo = self._utxo_as_of(parent)

@@ -11,7 +11,7 @@ studies.  A strategy owns
 * transaction/block forwarding after local acceptance, and
 * the per-node in-flight request state (dropped when the session ends).
 
-Three concrete strategies ship:
+Five concrete strategies ship:
 
 ``flood`` (:class:`FloodRelay`)
     The legacy behaviour: INV to every neighbour, GETDATA on first
@@ -34,6 +34,23 @@ Three concrete strategies ship:
     outside the cluster fall back to INV announcement.  Under the vanilla
     Bitcoin policy, which builds no cluster links, this degenerates to flood.
 
+``adaptive`` (:class:`AdaptiveRelay`)
+    Neighbour-scored fan-out: every neighbour is scored by how useful it has
+    been (objects it delivered first, announcements that were news, a
+    response-latency EWMA) and announcements go to the top-N scored peers
+    plus a random extra instead of everyone.  The width N adapts — narrowed
+    when announcements keep arriving redundantly, widened when in-flight
+    requests go stale — so the node floods while it knows nothing and prunes
+    redundant links as evidence accumulates.
+
+``headers`` (:class:`HeadersFirstRelay`)
+    Headers-first block sync: new blocks are announced with a one-entry
+    ``HEADERS`` message (BIP 130), a receiver missing the parent chain asks
+    for the whole gap with one ``GETHEADERS``/block-locator round-trip, and
+    every missing body is then fetched in one batched GETDATA (parallel body
+    fetch) instead of the per-orphan parent walk.  Reconnecting nodes
+    (``resync_on_reconnect``) catch up the same way.
+
 Scenarios select a strategy through
 :attr:`~repro.protocol.node.NodeConfig.relay_strategy` (or
 ``build_scenario(..., relay=...)``); register a new one by subclassing
@@ -52,6 +69,8 @@ from repro.protocol.messages import (
     CmpctBlockMessage,
     GetBlockTxnMessage,
     GetDataMessage,
+    GetHeadersMessage,
+    HeadersMessage,
     InvMessage,
     InventoryType,
     Message,
@@ -117,6 +136,10 @@ class RelayStrategy:
             self.handle_get_block_txn(sender, message)
         elif isinstance(message, BlockTxnMessage):
             self.handle_block_txn(sender, message)
+        elif isinstance(message, GetHeadersMessage):
+            self.handle_getheaders(sender, message)
+        elif isinstance(message, HeadersMessage):
+            self.handle_headers(sender, message)
         else:
             return False
         return True
@@ -134,6 +157,35 @@ class RelayStrategy:
     def note_block_received(self, block_hash: str) -> None:
         """The block arrived (by any path); it is no longer in flight."""
         self.pending_block_requests.pop(block_hash, None)
+
+    def on_peer_connected(self, peer_id: int) -> None:
+        """A connection to ``peer_id`` was established (strategy hook)."""
+
+    def on_peer_disconnected(self, peer_id: int) -> None:
+        """The connection to ``peer_id`` was torn down (strategy hook)."""
+
+    def sync_chain_with_peer(self, peer_id: int) -> bool:
+        """Offer the best chain over a fresh connection (the resync path).
+
+        The flood baseline announces the tip with a block INV; unknown parents
+        are then requested one-by-one through the orphan path.  Returns True
+        when anything was sent.  Announcing the genesis-only tip is skipped,
+        which also makes this a no-op during initial topology construction.
+        """
+        node = self.node
+        tip = node.blockchain.tip
+        if tip.block_hash == node.blockchain.genesis.block_hash:
+            return False
+        self._network().send(
+            node.node_id,
+            peer_id,
+            InvMessage(
+                sender=node.node_id,
+                inventory_type=InventoryType.BLOCK,
+                hashes=(tip.block_hash,),
+            ),
+        )
+        return True
 
     # --------------------------------------------------------- announcement
     def announce_transaction(self, txid: str, *, exclude: Optional[set[int]] = None) -> int:
@@ -263,6 +315,27 @@ class RelayStrategy:
             ),
         )
 
+    def request_parent(self, peer: int, parent_hash: str) -> None:
+        """Fetch an orphan's missing parent through the pending-request dedup.
+
+        The orphan path used to call :meth:`request_blocks` unconditionally:
+        a burst of orphans on the same branch re-sent the same GETDATA each
+        time *and refreshed the in-flight timestamp*, so the stale-retry
+        mechanism could never fire.  Routing the fetch through the same
+        classification step the INV path uses restores the dedup (fresh
+        in-flight requests are suppressed and counted in
+        ``stats.getdata_saved``) while still retrying requests that went
+        stale.
+        """
+        node = self.node
+        if node.blockchain.has_block(parent_hash):
+            return
+        unknown, stale = self._classify(
+            (parent_hash,), node.known_blocks, self.pending_block_requests
+        )
+        if unknown or stale:
+            self.request_blocks(peer, (parent_hash,))
+
     def handle_getdata(self, sender: int, message: GetDataMessage) -> None:
         node = self.node
         network = self._network()
@@ -357,6 +430,73 @@ class RelayStrategy:
     def handle_block_txn(self, sender: int, message: BlockTxnMessage) -> None:
         """Only the compact strategy has reconstructions to complete."""
 
+    # -------------------------------------------------------- headers plane
+    #: Cap on headers served per HEADERS message (Bitcoin Core's limit).
+    MAX_HEADERS_PER_MESSAGE = 2000
+
+    def handle_getheaders(self, sender: int, message: GetHeadersMessage) -> None:
+        """Serve best-chain headers after the requester's locator (any strategy).
+
+        The highest locator entry found on the local best chain anchors the
+        reply; everything above it (bounded by ``MAX_HEADERS_PER_MESSAGE`` and
+        the optional stop hash) is returned in one HEADERS message.  An empty
+        reply is skipped entirely — the requester's timeout-based retry covers
+        the silent case.
+        """
+        node = self.node
+        chain = node.blockchain.best_chain()
+        height_of = {block.block_hash: index for index, block in enumerate(chain)}
+        start = 0  # genesis: every locator ends there, but be lenient
+        for locator_hash in message.locator:
+            index = height_of.get(locator_hash)
+            if index is not None:
+                start = index
+                break
+        tail = chain[start + 1 : start + 1 + self.MAX_HEADERS_PER_MESSAGE]
+        if message.stop_hash:
+            for position, block in enumerate(tail):
+                if block.block_hash == message.stop_hash:
+                    tail = tail[: position + 1]
+                    break
+        if not tail:
+            return
+        self._network().send(
+            node.node_id,
+            sender,
+            HeadersMessage(
+                sender=node.node_id,
+                headers=tuple(block.header for block in tail),
+                heights=tuple(block.height for block in tail),
+            ),
+        )
+
+    def handle_headers(self, sender: int, message: HeadersMessage) -> None:
+        """Graceful interop: treat each header as a block announcement.
+
+        A non-headers-first node receiving a HEADERS announcement requests the
+        unknown bodies exactly as it would after a block INV (same dedup, same
+        stale retry); gap-filling via GETHEADERS is the headers strategy's
+        refinement.
+        """
+        node = self.node
+        if not message.headers:
+            return
+        unknown, stale = self._classify(
+            tuple(header.block_hash for header in message.headers),
+            node.known_blocks,
+            self.pending_block_requests,
+            confirmed=(
+                node.blockchain.has_block
+                if node.config.prune_depth is not None
+                else None
+            ),
+        )
+        to_request = unknown + stale
+        if not to_request:
+            node.stats.duplicate_invs += 1
+            return
+        self.request_blocks(sender, tuple(to_request))
+
 
 class FloodRelay(RelayStrategy):
     """The legacy INV/GETDATA/TX flood — the default, byte-identical relay."""
@@ -374,6 +514,9 @@ class _Reconstruction:
     origin: int
     missing: set[int] = field(default_factory=set)
     requested_at: float = 0.0
+    #: Cancellable timer that falls back to a full-block GETDATA if the
+    #: GETBLOCKTXN reply never arrives (the server may not have the block).
+    timeout: Optional[object] = None
 
 
 class CompactBlockRelay(FloodRelay):
@@ -397,11 +540,20 @@ class CompactBlockRelay(FloodRelay):
 
     def on_offline(self) -> None:
         super().on_offline()
-        self._reconstructions.clear()
+        for block_hash in tuple(self._reconstructions):
+            self._pop_reconstruction(block_hash)
 
     def note_block_received(self, block_hash: str) -> None:
         super().note_block_received(block_hash)
-        self._reconstructions.pop(block_hash, None)
+        self._pop_reconstruction(block_hash)
+
+    def _pop_reconstruction(self, block_hash: str) -> Optional[_Reconstruction]:
+        """Drop a reconstruction and cancel its fallback timer, if any."""
+        pending = self._reconstructions.pop(block_hash, None)
+        if pending is not None and pending.timeout is not None:
+            pending.timeout.cancel()
+            pending.timeout = None
+        return pending
 
     # --------------------------------------------------------- announcement
     def announce_block(self, block_hash: str, *, exclude: Optional[set[int]] = None) -> int:
@@ -435,7 +587,7 @@ class CompactBlockRelay(FloodRelay):
         if pending is not None:
             if now - pending.requested_at <= retry_after:
                 return
-            del self._reconstructions[block_hash]
+            self._pop_reconstruction(block_hash)
             node.stats.getdata_retries += 1
         requested_at = self.pending_block_requests.get(block_hash)
         if requested_at is not None:
@@ -460,7 +612,7 @@ class CompactBlockRelay(FloodRelay):
             else:
                 missing.append(position)
         if missing:
-            self._reconstructions[block_hash] = _Reconstruction(
+            reconstruction = _Reconstruction(
                 header=message.header,
                 height=message.height,
                 slots=slots,
@@ -468,6 +620,7 @@ class CompactBlockRelay(FloodRelay):
                 missing=set(missing),
                 requested_at=now,
             )
+            self._reconstructions[block_hash] = reconstruction
             node.stats.compact_txs_requested += len(missing)
             self._network().send(
                 node.node_id,
@@ -477,6 +630,15 @@ class CompactBlockRelay(FloodRelay):
                     block_hash=block_hash,
                     indexes=tuple(missing),
                 ),
+            )
+            # The server may silently have nothing to answer with (it lost
+            # the block, or every index was out of range); without a timer
+            # the reconstruction would stall until an unrelated
+            # re-announcement.  Mirror the flood GETDATA retry window.
+            reconstruction.timeout = self._network().simulator.schedule(
+                retry_after,
+                lambda: self._expire_reconstruction(block_hash, now),
+                label=f"cmpct-expire:{node.node_id}",
             )
             return
         self._complete(block_hash, message.header, message.height, slots, origin=sender)
@@ -502,7 +664,7 @@ class CompactBlockRelay(FloodRelay):
             # The server could not provide everything; fall back.
             self._fallback(message.block_hash, pending.origin)
             return
-        del self._reconstructions[message.block_hash]
+        self._pop_reconstruction(message.block_hash)
         self._complete(
             message.block_hash, pending.header, pending.height, pending.slots, origin=pending.origin
         )
@@ -526,9 +688,22 @@ class CompactBlockRelay(FloodRelay):
         node.stats.compact_blocks_reconstructed += 1
         node.accept_block(block, origin_peer=origin)
 
+    def _expire_reconstruction(self, block_hash: str, requested_at: float) -> None:
+        """Timer body: the GETBLOCKTXN reply never arrived; fall back.
+
+        A no-op when the reconstruction completed, was taken over by a newer
+        announcement, or was dropped offline in the meantime (the
+        ``requested_at`` echo guards against a same-hash successor).
+        """
+        pending = self._reconstructions.get(block_hash)
+        if pending is None or pending.requested_at != requested_at:
+            return
+        self.node.stats.compact_txn_timeouts += 1
+        self._fallback(block_hash, pending.origin)
+
     def _fallback(self, block_hash: str, origin: int) -> None:
         node = self.node
-        self._reconstructions.pop(block_hash, None)
+        self._pop_reconstruction(block_hash)
         node.stats.compact_fallbacks += 1
         if not node.blockchain.has_block(block_hash):
             self.request_blocks(origin, (block_hash,))
@@ -582,11 +757,501 @@ class PushRelay(FloodRelay):
         return count
 
 
+@dataclass
+class _NeighbourScore:
+    """Observed relay usefulness of one neighbour (adaptive strategy)."""
+
+    #: Objects (txs or blocks) whose *first* copy we received from this peer.
+    first_deliveries: int = 0
+    #: Announced hashes that were news to us (novel INV entries).
+    novel_invs: int = 0
+    #: EWMA of the GETDATA -> delivery round-trip to this peer.
+    latency_ewma_s: float = 0.0
+    latency_samples: int = 0
+
+    def observe_latency(self, rtt_s: float, alpha: float) -> None:
+        if self.latency_samples == 0:
+            self.latency_ewma_s = rtt_s
+        else:
+            self.latency_ewma_s += alpha * (rtt_s - self.latency_ewma_s)
+        self.latency_samples += 1
+
+    @property
+    def relay_score(self) -> int:
+        """First deliveries weigh double: they are the scarce signal."""
+        return 2 * self.first_deliveries + self.novel_invs
+
+
+class AdaptiveRelay(FloodRelay):
+    """Neighbour-scored announcement fan-out with dynamic widen/narrow.
+
+    Every neighbour accumulates a :class:`_NeighbourScore` (objects it
+    delivered first, announcements that were news, a response-latency EWMA,
+    fed by the node's message hooks).  *Transaction* announcements then go to
+    the ``N`` best-ranked peers plus one random extra instead of flooding
+    everyone (block announcements keep the full fan-out — see the note on
+    ``announce_block`` below):
+
+    * the node starts in full-flood mode (``N`` unset) — with no evidence,
+      pruning links would only strand objects;
+    * a run of :data:`NARROW_AFTER_DUPLICATES` consecutive all-duplicate
+      announcements narrows the fan-out by one (redundancy is high, the
+      neighbourhood already hears everything through other paths);
+    * an in-flight request going stale widens it again by one (the peers we
+      rely on serve us poorly — listen to more of them).
+
+    The random extra keeps the epidemic alive past the scored set, and the
+    width never drops below :data:`MIN_FANOUT`.  Width changes are counted in
+    ``stats.adaptive_fanout_widened`` / ``adaptive_fanout_narrowed`` and
+    recorded with their timestamp in :attr:`fanout_history`.
+    """
+
+    name = "adaptive"
+
+    #: Fan-out floor: epidemic relay with too few targets risks stranding
+    #: objects, so narrowing never goes below this many scored peers.
+    MIN_FANOUT = 3
+    #: Random (non-top-ranked) peers added to every announcement.
+    RANDOM_EXTRAS = 1
+    #: Consecutive all-duplicate announcements that trigger one narrow step.
+    NARROW_AFTER_DUPLICATES = 4
+    #: EWMA smoothing factor for the response-latency estimate.
+    LATENCY_ALPHA = 0.25
+
+    def __init__(self, node: "BitcoinNode") -> None:
+        super().__init__(node)
+        #: Per-neighbour usefulness scores (reset when the session ends).
+        self.scores: dict[int, _NeighbourScore] = {}
+        #: Outstanding latency probes: requested hash -> (peer, sent time).
+        self._probes: dict[str, tuple[int, float]] = {}
+        #: Current fan-out width; None means full flood (no evidence yet).
+        self._fanout: Optional[int] = None
+        self._duplicate_run = 0
+        #: (time, width) samples, appended on every widen/narrow step.
+        self.fanout_history: list[tuple[float, int]] = []
+        self._rng = None
+
+    # ------------------------------------------------------------- lifecycle
+    def on_offline(self) -> None:
+        super().on_offline()
+        self._probes.clear()
+        self.scores.clear()
+        self._duplicate_run = 0
+        self._fanout = None  # fresh session, fresh neighbourhood: flood again
+
+    def on_peer_disconnected(self, peer_id: int) -> None:
+        self.scores.pop(peer_id, None)
+
+    # --------------------------------------------------------------- scoring
+    def _get_rng(self):
+        if self._rng is None:
+            self._rng = self._network().simulator.random.stream(
+                f"adaptive-relay:{self.node.node_id}"
+            )
+        return self._rng
+
+    def _score(self, peer: int) -> _NeighbourScore:
+        score = self.scores.get(peer)
+        if score is None:
+            score = self.scores[peer] = _NeighbourScore()
+        return score
+
+    def get_classification(self, peers: list[int]) -> list[int]:
+        """Rank peers best-first: score, then measured latency, then id."""
+
+        def rank(peer: int) -> tuple[float, float, int]:
+            score = self.scores.get(peer)
+            if score is None:
+                return (0.0, float("inf"), peer)
+            latency = (
+                score.latency_ewma_s if score.latency_samples else float("inf")
+            )
+            return (-float(score.relay_score), latency, peer)
+
+        return sorted(peers, key=rank)
+
+    def effective_fanout(self) -> int:
+        """Announcement targets the *next* relay round will use."""
+        degree = len(self._network().neighbors(self.node.node_id))
+        if self._fanout is None:
+            return degree
+        extras = self.RANDOM_EXTRAS if degree > self._fanout else 0
+        return min(self._fanout + extras, degree)
+
+    def _relay_targets(self, exclude: Optional[set[int]]) -> list[int]:
+        network = self._network()
+        excluded = exclude or set()
+        neighbours = [
+            peer
+            for peer in network.neighbors(self.node.node_id)
+            if peer not in excluded
+        ]
+        width = self._fanout
+        if width is None or width >= len(neighbours):
+            return neighbours
+        ranked = self.get_classification(neighbours)
+        chosen = ranked[:width]
+        rest = ranked[width:]
+        extras = min(self.RANDOM_EXTRAS, len(rest))
+        if extras:
+            rng = self._get_rng()
+            picks = rng.choice(len(rest), size=extras, replace=False)
+            chosen.extend(rest[int(i)] for i in sorted(picks))
+        return chosen
+
+    # ------------------------------------------------------ width adaptation
+    def _widen(self) -> None:
+        if self._fanout is None:
+            return  # already flooding everyone
+        degree = len(self._network().neighbors(self.node.node_id))
+        if self._fanout >= degree:
+            self._fanout = None
+            return
+        self._fanout += 1
+        self.node.stats.adaptive_fanout_widened += 1
+        self.fanout_history.append((self._now, self._fanout))
+
+    def _narrow(self) -> None:
+        degree = len(self._network().neighbors(self.node.node_id))
+        if degree == 0:
+            return
+        current = self._fanout if self._fanout is not None else degree
+        narrowed = max(self.MIN_FANOUT, current - 1)
+        if narrowed >= current:
+            return
+        self._fanout = narrowed
+        self.node.stats.adaptive_fanout_narrowed += 1
+        self.fanout_history.append((self._now, narrowed))
+
+    def _note_duplicate(self) -> None:
+        self._duplicate_run += 1
+        if self._duplicate_run >= self.NARROW_AFTER_DUPLICATES:
+            self._duplicate_run = 0
+            self._narrow()
+
+    # --------------------------------------------------------- announcement
+    def announce_transaction(
+        self, txid: str, *, exclude: Optional[set[int]] = None
+    ) -> int:
+        node = self.node
+        targets = self._relay_targets(exclude)
+        count = 0
+        if targets:
+            count = self._network().multicast(
+                node.node_id,
+                targets,
+                InvMessage(
+                    sender=node.node_id,
+                    inventory_type=InventoryType.TRANSACTION,
+                    hashes=(txid,),
+                ),
+            )
+        for listener in node.announcement_listeners:
+            listener(node.node_id, txid, self._now)
+        return count
+
+    # announce_block is deliberately NOT overridden: block announcements keep
+    # FloodRelay's full fan-out.  A transaction stranded by a narrow fan-out
+    # is repaired by the next block that confirms it, but a stranded *block*
+    # has no backstop — the node simply falls behind until an unrelated
+    # resync.  Blocks are also rare, so their INVs contribute almost nothing
+    # to the redundancy the narrowing removes; the duplicate-INV volume lives
+    # on the transaction plane.  (Bitcoin Core draws the same line: tx relay
+    # is trickled and filtered per peer, block announcements go to everyone.)
+
+    # ----------------------------------------------------- scored message IO
+    def handle_inv(self, sender: int, message: InvMessage) -> None:
+        node = self.node
+        node.stats.invs_received += 1
+        is_tx = message.inventory_type is InventoryType.TRANSACTION
+        known = node.known_transactions if is_tx else node.known_blocks
+        pending = self.pending_tx_requests if is_tx else self.pending_block_requests
+        confirmed = None
+        if node.config.prune_depth is not None:
+            confirmed = (
+                node.blockchain.contains_transaction
+                if is_tx
+                else node.blockchain.has_block
+            )
+        unknown, stale = self._classify(
+            message.hashes, known, pending, confirmed=confirmed
+        )
+        if stale:
+            # Requests are timing out: the peers we listen to serve us
+            # poorly, so widen the fan-out (and our own usefulness signal).
+            self._widen()
+        to_request = unknown + stale
+        if not to_request:
+            node.stats.duplicate_invs += 1
+            self._note_duplicate()
+            return
+        self._duplicate_run = 0
+        self._score(sender).novel_invs += len(unknown)
+        now = self._now
+        if is_tx:
+            for txid in unknown:
+                node.transaction_first_seen_times.setdefault(txid, now)
+            self.pending_tx_requests.update((txid, now) for txid in to_request)
+            node.stats.getdata_sent += 1
+            self._network().send(
+                node.node_id,
+                sender,
+                GetDataMessage(
+                    sender=node.node_id,
+                    inventory_type=InventoryType.TRANSACTION,
+                    hashes=tuple(to_request),
+                ),
+            )
+            for txid in to_request:
+                self._probes[txid] = (sender, now)
+        else:
+            self.request_blocks(sender, tuple(to_request))
+
+    def request_blocks(self, peer: int, hashes: tuple[str, ...]) -> None:
+        super().request_blocks(peer, hashes)
+        now = self._now
+        for block_hash in hashes:
+            self._probes[block_hash] = (peer, now)
+
+    def handle_tx(self, sender: int, message: TxMessage) -> None:
+        if message.transaction is not None:
+            txid = message.transaction.txid
+            self._observe_delivery(
+                txid, sender, novel=txid not in self.node.known_transactions
+            )
+        super().handle_tx(sender, message)
+
+    def handle_block(self, sender: int, message: BlockMessage) -> None:
+        if message.block is not None:
+            block_hash = message.block.block_hash
+            self._observe_delivery(
+                block_hash, sender, novel=block_hash not in self.node.known_blocks
+            )
+        super().handle_block(sender, message)
+
+    def _observe_delivery(self, obj_hash: str, sender: int, *, novel: bool) -> None:
+        score = self._score(sender)
+        if novel:
+            score.first_deliveries += 1
+        probe = self._probes.pop(obj_hash, None)
+        if probe is not None and probe[0] == sender:
+            score.observe_latency(self._now - probe[1], self.LATENCY_ALPHA)
+
+
+class HeadersFirstRelay(FloodRelay):
+    """Headers-first block sync (GETHEADERS / HEADERS, BIP 130 announcement).
+
+    New blocks are announced with a one-entry HEADERS message instead of an
+    INV.  A receiver that already knows the parent chain batches one GETDATA
+    for every missing body; a receiver missing intermediate headers asks the
+    announcer for the whole gap with a single GETHEADERS carrying a block
+    locator, then fetches the returned bodies bottom-up in batched GETDATAs
+    (parallel body fetch) — replacing the flood path's one-GETDATA-per-orphan
+    parent walk.  Reconnecting nodes (``resync_on_reconnect``) catch up the
+    same way: :meth:`sync_chain_with_peer` sends a GETHEADERS instead of the
+    tip INV, so one round-trip discovers however many blocks were missed.
+
+    Two details keep a long catch-up cheap:
+
+    * bodies are fetched through a bounded download window (Bitcoin Core's
+      ``BLOCK_DOWNLOAD_WINDOW``, scaled down): at most
+      ``min(BODY_DOWNLOAD_WINDOW, max_orphan_blocks)`` bodies are in flight
+      at once, so however the per-message latencies scramble arrival order,
+      the out-of-order tail always fits in the orphan pool.  Requesting the
+      whole gap at once instead would evict tip-side orphans and re-download
+      their bodies — the exact thrashing the flood walk suffers;
+    * only tips are announced (BIP 130 semantics): a block accepted while we
+      already know a strictly higher header is stale inventory, so replaying
+      a catch-up batch does not spray HEADERS messages at the peer that is
+      ahead of us anyway.
+    """
+
+    name = "headers"
+
+    #: Cap on bodies in flight at once.  The effective window is
+    #: ``min(BODY_DOWNLOAD_WINDOW, config.max_orphan_blocks)`` so a window's
+    #: out-of-order arrivals can always be stashed without evicting anything.
+    BODY_DOWNLOAD_WINDOW = 16
+
+    def __init__(self, node: "BitcoinNode") -> None:
+        super().__init__(node)
+        #: Outstanding GETHEADERS round-trips: peer -> sent time (dedup with
+        #: the same staleness window as GETDATA retries).
+        self._pending_getheaders: dict[int, float] = {}
+        #: Heights of headers whose bodies are still on the way; lets a
+        #: child header chain onto a parent we only know by header yet.
+        self._header_heights: dict[str, int] = {}
+        #: Bodies discovered via HEADERS but not yet arrived, as
+        #: ``(block_hash, serving_peer)``.  Drained window-by-window in
+        #: height order; entries leave only when the body arrives.
+        self._body_queue: list[tuple[str, int]] = []
+
+    # ------------------------------------------------------------- lifecycle
+    def on_offline(self) -> None:
+        super().on_offline()
+        self._pending_getheaders.clear()
+        self._header_heights.clear()
+        self._body_queue.clear()
+
+    def note_block_received(self, block_hash: str) -> None:
+        super().note_block_received(block_hash)
+        self._header_heights.pop(block_hash, None)
+        if self._body_queue:
+            self._body_queue = [
+                entry for entry in self._body_queue if entry[0] != block_hash
+            ]
+            # Refill only once the window drains: bodies keep going out in
+            # window-sized batches instead of one 61-byte GETDATA each.
+            if not self.pending_block_requests and self._body_queue:
+                self._fill_body_window()
+
+    def on_peer_disconnected(self, peer_id: int) -> None:
+        self._pending_getheaders.pop(peer_id, None)
+
+    # ------------------------------------------------------------------ sync
+    def sync_chain_with_peer(self, peer_id: int) -> bool:
+        """One GETHEADERS round-trip replaces the tip-INV + orphan walk."""
+        return self._send_getheaders(peer_id)
+
+    def block_locator(self) -> tuple[str, ...]:
+        """Best-chain hashes, tip first with exponential gaps, genesis last."""
+        chain = self.node.blockchain.best_chain()
+        locator: list[str] = []
+        step = 1
+        index = len(chain) - 1
+        while index > 0:
+            locator.append(chain[index].block_hash)
+            if len(locator) >= 10:
+                step *= 2
+            index -= step
+        locator.append(chain[0].block_hash)
+        return tuple(locator)
+
+    def _send_getheaders(self, peer_id: int) -> bool:
+        node = self.node
+        now = self._now
+        sent_at = self._pending_getheaders.get(peer_id)
+        if sent_at is not None and now - sent_at <= node.config.getdata_retry_s:
+            return False
+        self._pending_getheaders[peer_id] = now
+        node.stats.getheaders_sent += 1
+        self._network().send(
+            node.node_id,
+            peer_id,
+            GetHeadersMessage(sender=node.node_id, locator=self.block_locator()),
+        )
+        return True
+
+    # ------------------------------------------------------------ body fetch
+    def _fill_body_window(self) -> None:
+        """Request queued bodies up to the download window, oldest first.
+
+        Entries with a *fresh* in-flight GETDATA are left alone; entries
+        whose request went stale (the serving peer churned away mid-batch)
+        are re-issued and counted in ``stats.getdata_retries``.  The queue is
+        height-sorted so the window always covers a contiguous bottom-up
+        range — each window connects onto the last, and nothing waits in the
+        orphan pool between windows.
+        """
+        node = self.node
+        config = node.config
+        window = max(1, min(self.BODY_DOWNLOAD_WINDOW, config.max_orphan_blocks))
+        now = self._now
+        heights = self._header_heights
+        self._body_queue.sort(key=lambda entry: heights.get(entry[0], 0))
+        in_flight = sum(
+            1
+            for requested_at in self.pending_block_requests.values()
+            if now - requested_at <= config.getdata_retry_s
+        )
+        batches: dict[int, list[str]] = {}
+        for block_hash, peer in self._body_queue:
+            if block_hash in node.known_blocks:
+                continue
+            requested_at = self.pending_block_requests.get(block_hash)
+            if requested_at is not None and now - requested_at <= config.getdata_retry_s:
+                continue  # fresh in-flight request: not ours to repeat
+            if in_flight >= window:
+                break  # height order: nothing further down fits either
+            if requested_at is not None:
+                node.stats.getdata_retries += 1
+            batches.setdefault(peer, []).append(block_hash)
+            in_flight += 1
+        for peer, hashes in batches.items():
+            self.request_blocks(peer, tuple(hashes))
+
+    # --------------------------------------------------------- announcement
+    def announce_block(
+        self, block_hash: str, *, exclude: Optional[set[int]] = None
+    ) -> int:
+        node = self.node
+        block = node.blockchain.get_block(block_hash)
+        # BIP 130 announces only tips.  While catching up we already hold
+        # headers above this block, so announcing it would only re-offer
+        # stale inventory to the peer that is ahead of us — at HEADERS wire
+        # cost, for every block in the replayed batch.
+        if any(height > block.height for height in self._header_heights.values()):
+            return 0
+        return self._network().broadcast(
+            node.node_id,
+            HeadersMessage(
+                sender=node.node_id,
+                headers=(block.header,),
+                heights=(block.height,),
+            ),
+            exclude=exclude,
+        )
+
+    # -------------------------------------------------------- headers intake
+    def handle_headers(self, sender: int, message: HeadersMessage) -> None:
+        node = self.node
+        node.stats.headers_received += 1
+        self._pending_getheaders.pop(sender, None)
+        to_fetch: list[str] = []
+        gap = False
+        for header, height in zip(message.headers, message.heights):
+            block_hash = header.block_hash
+            if (
+                node.blockchain.has_block(block_hash)
+                or block_hash in self._header_heights
+            ):
+                continue
+            parent = header.previous_hash
+            if not (
+                node.blockchain.has_block(parent) or parent in self._header_heights
+            ):
+                gap = True
+                continue
+            self._header_heights[block_hash] = height
+            to_fetch.append(block_hash)
+        if gap:
+            # Intermediate headers are missing; one locator round-trip to
+            # the announcer fetches the whole gap.
+            self._send_getheaders(sender)
+        if not to_fetch and not self._body_queue:
+            if not gap:
+                node.stats.duplicate_invs += 1
+            return
+        queued = {entry[0] for entry in self._body_queue}
+        fresh = [
+            block_hash
+            for block_hash in to_fetch
+            if block_hash not in node.known_blocks and block_hash not in queued
+        ]
+        node.stats.header_bodies_requested += len(fresh)
+        self._body_queue.extend((block_hash, sender) for block_hash in fresh)
+        # Every headers round also sweeps the queue: requests that went stale
+        # (the serving peer churned away) get re-issued to whoever is alive.
+        self._fill_body_window()
+
+
 #: Relay strategies selectable by name (``NodeConfig.relay_strategy``).
 RELAY_STRATEGIES: dict[str, type[RelayStrategy]] = {
     FloodRelay.name: FloodRelay,
     CompactBlockRelay.name: CompactBlockRelay,
     PushRelay.name: PushRelay,
+    AdaptiveRelay.name: AdaptiveRelay,
+    HeadersFirstRelay.name: HeadersFirstRelay,
 }
 
 #: Relay names accepted by :func:`build_relay_strategy` / ``build_scenario``.

@@ -40,7 +40,8 @@ TINY_ARGS = {
     ],
     "relay_comparison": [
         "--nodes", "20", "--runs", "1", "--seeds", "3", "--measuring-nodes", "1",
-        "--relays", "flood", "compact", "--protocols", "bitcoin", "bcbpt",
+        "--relays", "flood", "compact", "adaptive", "headers",
+        "--protocols", "bitcoin", "bcbpt",
         "--blocks", "1", "--txs-per-block", "2",
     ],
     "scale": [

@@ -16,7 +16,9 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.relay_comparison import (
     RELAY_PROTOCOLS,
     RELAY_SWEEP,
+    adaptive_narrows_clustering_advantage,
     build_report,
+    clustering_beats_vanilla_under_adaptive,
     compact_beats_flood,
     run_relay_comparison,
 )
@@ -113,8 +115,66 @@ class TestRelayComparisonExperiment:
             run_relay_comparison(SMALL, protocols=("bitcion",))
 
     def test_default_sweep_constants(self):
-        assert RELAY_SWEEP == ("flood", "compact", "push")
+        assert RELAY_SWEEP == ("flood", "compact", "push", "adaptive", "headers")
         assert RELAY_PROTOCOLS == ("bitcoin", "lbc", "bcbpt")
 
     def test_compact_beats_flood_requires_a_pair(self):
         assert not compact_beats_flood({}, lambda r: 0)
+
+    def test_adaptive_verdicts_require_their_cells(self):
+        assert not clustering_beats_vanilla_under_adaptive({})
+        assert not adaptive_narrows_clustering_advantage({})
+
+    def test_full_sweep_with_adaptive_and_headers(self):
+        """The enlarged grid: all five strategies cross one policy, every
+        strategy reaches the whole network, and the strategy-specific
+        counters show each mechanism actually ran."""
+        results = run_relay_comparison(
+            SMALL,
+            relays=RELAY_SWEEP,
+            protocols=("bitcoin",),
+            blocks=1,
+            txs_per_block=3,
+        )
+        assert set(results) == {f"{relay}/bitcoin" for relay in RELAY_SWEEP}
+        for result in results.values():
+            assert result.mean_coverage() == 1.0
+            assert len(result.delays) == SMALL.node_count - 1
+        headers = results["headers/bitcoin"]
+        assert headers.message_breakdown["headers"] > 0
+        assert headers.header_bodies_requested > 0
+        adaptive = results["adaptive/bitcoin"]
+        assert adaptive.summary()["mean_final_fanout"] > 0
+        report = build_report(results).render()
+        assert "Adaptive fan-out" in report
+        assert "Headers-first sync" in report
+
+    def test_adaptive_verdict_cells(self):
+        results = run_relay_comparison(
+            SMALL,
+            relays=("flood", "adaptive"),
+            protocols=("bitcoin", "bcbpt"),
+            blocks=1,
+            txs_per_block=2,
+        )
+        # The verdicts are data-dependent booleans; what the test pins down
+        # is that all four cells exist so the comparison is real, and the
+        # functions run without error on genuine results.
+        assert set(results) == {
+            "flood/bitcoin", "flood/bcbpt", "adaptive/bitcoin", "adaptive/bcbpt",
+        }
+        assert clustering_beats_vanilla_under_adaptive(results) in (True, False)
+        assert adaptive_narrows_clustering_advantage(results) in (True, False)
+
+    @pytest.mark.parametrize("relay", ["adaptive", "headers"])
+    def test_worker_count_invariance_new_strategies(self, relay):
+        kwargs = dict(relays=(relay,), protocols=("bitcoin",), blocks=1,
+                      txs_per_block=2)
+        serial = run_relay_comparison(SMALL.with_overrides(workers=1), **kwargs)
+        parallel = run_relay_comparison(SMALL.with_overrides(workers=2), **kwargs)
+        for key in serial:
+            assert serial[key].delays.samples == parallel[key].delays.samples
+            assert serial[key].relay_messages == parallel[key].relay_messages
+            assert serial[key].relay_bytes == parallel[key].relay_bytes
+            assert serial[key].fanout_samples == parallel[key].fanout_samples
+            assert serial[key].getheaders_sent == parallel[key].getheaders_sent

@@ -15,6 +15,8 @@ from repro.protocol.messages import (
     GetAddrMessage,
     GetBlockTxnMessage,
     GetDataMessage,
+    GetHeadersMessage,
+    HeadersMessage,
     InvMessage,
     InventoryType,
     JoinAcceptMessage,
@@ -66,6 +68,10 @@ def _every_message():
         BlockTxnMessage(
             sender=1, block_hash=block.block_hash, indexes=(1,), transactions=(tx,)
         ),
+        GetHeadersMessage(
+            sender=1, locator=(block.block_hash, "0" * 64), stop_hash="f" * 64
+        ),
+        HeadersMessage(sender=1, headers=(block.header,), heights=(block.height,)),
         JoinMessage(sender=1, measured_rtt_s=0.02),
         JoinAcceptMessage(sender=1, cluster_id=4),
         ClusterMembersMessage(sender=1, cluster_id=4, members=(5, 6)),
@@ -84,6 +90,8 @@ class TestMessageBasics:
         assert GetDataMessage(sender=0).command == "getdata"
         assert TxMessage(sender=0).command == "tx"
         assert BlockMessage(sender=0).command == "block"
+        assert GetHeadersMessage(sender=0).command == "getheaders"
+        assert HeadersMessage(sender=0).command == "headers"
         assert JoinMessage(sender=0).command == "join"
         assert JoinAcceptMessage(sender=0).command == "join_accept"
         assert ClusterMembersMessage(sender=0).command == "cluster_members"
@@ -98,6 +106,8 @@ class TestMessageBasics:
             JoinMessage(sender=0),
             JoinAcceptMessage(sender=0),
             ClusterMembersMessage(sender=0, members=(1, 2, 3)),
+            GetHeadersMessage(sender=0, locator=("h",)),
+            HeadersMessage(sender=0),
         ):
             assert message_size_bytes(message.command, message.wire_payload()) > 0
 
@@ -157,6 +167,21 @@ class TestWirePayloads:
         tx = Transaction.coinbase(keypair.address, 10)
         message = BlockTxnMessage(sender=0, indexes=(1,), transactions=(tx,))
         assert message.wire_payload() == tx.size_bytes
+
+    def test_getheaders_payload_is_locator_length(self):
+        message = GetHeadersMessage(sender=0, locator=("a" * 64, "b" * 64))
+        assert message.wire_payload() == 2
+        # 24-byte envelope + 37 fixed bytes + 32 bytes per locator hash.
+        assert message_size_bytes("getheaders", 2) == 24 + 37 + 2 * 32
+
+    def test_headers_payload_is_header_count(self):
+        block = _sample_block()
+        message = HeadersMessage(
+            sender=0, headers=(block.header,), heights=(block.height,)
+        )
+        assert message.wire_payload() == 1
+        # 24-byte envelope + count byte + 81 bytes per header entry.
+        assert message_size_bytes("headers", 1) == 24 + 1 + 81
 
     def test_short_txid_is_fixed_prefix(self):
         txid = "ab" * 32

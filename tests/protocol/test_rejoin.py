@@ -172,3 +172,119 @@ class TestNoDoubleCountingUnderChurn:
         for run in result.runs:
             ids = [record.node_id for record in run.receptions]
             assert len(ids) == len(set(ids))
+
+
+def relay_scenario(relay):
+    scenario = build_scenario(
+        "bcbpt",
+        NetworkParameters(node_count=30, seed=13),
+        latency_threshold_s=0.05,
+        churn=MANUAL_CHURN,
+        relay=relay,
+    )
+    fund_nodes(list(scenario.network.nodes.values()), outputs_per_node=6)
+    return scenario
+
+
+class TestRelayStrategiesUnderChurn:
+    """Every non-flood relay strategy survives a leave/rejoin cycle: in-flight
+    strategy state is dropped on leave, and the rejoiner converges back to the
+    best chain through that strategy's own sync path (compact announcements,
+    adaptive fan-out, or a headers round-trip)."""
+
+    @pytest.mark.parametrize("relay", ["compact", "push", "adaptive", "headers"])
+    def test_rejoining_node_converges_per_strategy(self, relay):
+        scenario = relay_scenario(relay)
+        simulated = scenario.network
+        simulator = scenario.simulator
+        maintainer = scenario.maintainer
+
+        leaver = simulated.node_ids()[-1]
+        miner_id = next(n for n in simulated.node_ids() if n != leaver)
+        mining = MiningProcess(
+            simulator,
+            simulated.nodes,
+            equal_hash_power([miner_id]),
+            simulator.random.stream("test-mining"),
+        )
+
+        maintainer._handle_leave(leaver)
+        for _ in range(2):
+            assert mining.mine_one_block(winner_id=miner_id) is not None
+            simulator.run(until=simulator.now + 10.0)
+
+        network_tip = simulated.node(miner_id).blockchain.tip
+        leaver_node = simulated.node(leaver)
+        assert leaver_node.blockchain.height == network_tip.height - 2
+
+        maintainer._handle_join(leaver)
+        simulator.run(until=simulator.now + 30.0)
+
+        assert leaver_node.blockchain.tip.block_hash == network_tip.block_hash
+        assert leaver_node.stats.reconnect_syncs > 0
+        if relay == "headers":
+            # The catch-up went through the headers-first path.
+            assert leaver_node.stats.getheaders_sent > 0
+            assert leaver_node.stats.headers_received > 0
+
+    @pytest.mark.parametrize("relay", ["compact", "adaptive", "headers"])
+    def test_in_flight_strategy_state_dropped_on_leave(self, relay):
+        from repro.protocol.relay import _Reconstruction
+
+        scenario = relay_scenario(relay)
+        maintainer = scenario.maintainer
+        leaver = scenario.network.node_ids()[-1]
+        strategy = scenario.network.node(leaver).relay
+        strategy.pending_block_requests["cafebabe"] = 0.0
+        if relay == "compact":
+            strategy._reconstructions["deadbeef"] = _Reconstruction(
+                header=None, height=1, slots=[None], origin=0
+            )
+        elif relay == "adaptive":
+            strategy._probes["deadbeef"] = (1, 0.0)
+            strategy._score(1).novel_invs = 2
+            strategy._fanout = 3
+        elif relay == "headers":
+            strategy._pending_getheaders[1] = 0.0
+            strategy._header_heights["deadbeef"] = 7
+            strategy._body_queue.append(("deadbeef", 1))
+
+        maintainer._handle_leave(leaver)
+
+        assert not strategy.pending_block_requests
+        if relay == "compact":
+            assert not strategy._reconstructions
+        elif relay == "adaptive":
+            assert not strategy._probes
+            assert not strategy.scores
+            assert strategy._fanout is None
+        elif relay == "headers":
+            assert not strategy._pending_getheaders
+            assert not strategy._header_heights
+            assert not strategy._body_queue
+
+    @pytest.mark.parametrize("relay", ["compact", "adaptive", "headers"])
+    def test_no_double_counting_with_churn_per_strategy(self, relay):
+        scenario = relay_scenario(relay)
+        simulated = scenario.network
+        simulator = scenario.simulator
+        maintainer = scenario.maintainer
+
+        measuring_id = simulated.node_ids()[0]
+        measuring = MeasuringNode(
+            simulated.node(measuring_id),
+            simulator.random.stream("test-measuring"),
+            run_timeout_s=20.0,
+            exclude_long_links=True,
+        )
+        connections = measuring._measured_connections()
+        assert connections, "measuring node needs connections"
+        churner = connections[-1]
+        simulator.schedule(0.005, lambda: maintainer._handle_leave(churner))
+        simulator.schedule(2.0, lambda: maintainer._handle_join(churner))
+
+        run = measuring.measure_once()
+
+        received_ids = [record.node_id for record in run.receptions]
+        assert len(received_ids) == len(set(received_ids)), "a node was counted twice"
+        assert set(received_ids) <= set(run.connected_nodes)

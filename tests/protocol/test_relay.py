@@ -1,8 +1,10 @@
-"""Tests for the pluggable relay strategies (flood / compact / push).
+"""Tests for the pluggable relay strategies (flood / compact / push /
+adaptive / headers).
 
 Covers the strategy registry, compact-block reconstruction (mempool hit,
-GETBLOCKTXN round-trip, Merkle-mismatch fallback), unsolicited cluster push,
-the cross-peer GETDATA dedup with timeout-based retry, and the bounded
+GETBLOCKTXN round-trip, timeout fallback, Merkle-mismatch fallback),
+unsolicited cluster push, adaptive neighbour-scored fan-out, headers-first
+sync, the cross-peer GETDATA dedup with timeout-based retry, and the bounded
 orphan-block pool.
 """
 
@@ -12,6 +14,7 @@ from repro.protocol.block import Block
 from repro.protocol.messages import (
     BlockMessage,
     CmpctBlockMessage,
+    HeadersMessage,
     InvMessage,
     InventoryType,
     short_txid,
@@ -21,9 +24,12 @@ from repro.protocol.node import NodeConfig
 from repro.protocol.relay import (
     RELAY_NAMES,
     RELAY_STRATEGIES,
+    AdaptiveRelay,
     CompactBlockRelay,
     FloodRelay,
+    HeadersFirstRelay,
     PushRelay,
+    _Reconstruction,
     build_relay_strategy,
     validate_relay_name,
 )
@@ -63,7 +69,7 @@ def mine_at(simulated, winner_id):
 
 class TestRegistry:
     def test_relay_names(self):
-        assert RELAY_NAMES == ("flood", "compact", "push")
+        assert RELAY_NAMES == ("flood", "compact", "push", "adaptive", "headers")
         assert set(RELAY_STRATEGIES) == set(RELAY_NAMES)
 
     def test_validate_rejects_unknown(self):
@@ -71,7 +77,13 @@ class TestRegistry:
             validate_relay_name("gossip")
 
     def test_node_builds_configured_strategy(self):
-        for name, cls in (("flood", FloodRelay), ("compact", CompactBlockRelay), ("push", PushRelay)):
+        for name, cls in (
+            ("flood", FloodRelay),
+            ("compact", CompactBlockRelay),
+            ("push", PushRelay),
+            ("adaptive", AdaptiveRelay),
+            ("headers", HeadersFirstRelay),
+        ):
             simulated = build_network(
                 NetworkParameters(node_count=2, seed=1, node_config=NodeConfig(relay_strategy=name))
             )
@@ -97,6 +109,8 @@ class TestRegistry:
             NodeConfig(getdata_retry_s=0.0)
         with pytest.raises(ValueError):
             NodeConfig(max_orphan_blocks=0)
+        with pytest.raises(ValueError):
+            NodeConfig(mempool_max_size=0)
 
 
 class TestCompactRelay:
@@ -177,7 +191,9 @@ class TestCompactRelay:
     def test_reconstruction_state_dropped_on_offline(self):
         simulated = build_ring(relay="compact")
         strategy = simulated.node(2).relay
-        strategy._reconstructions["deadbeef"] = object()
+        strategy._reconstructions["deadbeef"] = _Reconstruction(
+            header=None, height=1, slots=[None], origin=0
+        )
         simulated.network.set_online(2, False)
         assert not strategy._reconstructions
 
@@ -198,18 +214,69 @@ class TestCompactRelay:
             coinbase=block.transactions[0],
         )
         # First announcement arrives from a peer that will never answer the
-        # fetch (node 9 does not have the block).
+        # fetch (node 9 does not have the block, and is not even connected to
+        # the receiver, so the timer's fallback GETDATA dies silently too).
         receiver.relay.handle_cmpct_block(9, message)
         assert block.block_hash in receiver.relay._reconstructions
         # A fresh announcement within the timeout is suppressed...
         receiver.relay.handle_cmpct_block(0, message)
         assert receiver.stats.getdata_retries == 0
-        # ...but once the round-trip is stale, the new announcer takes over.
-        simulated.simulator.run(until=simulated.simulator.now + 10.0)
+        # The timeout timer fires at +5s and falls back to a full-block
+        # GETDATA aimed at the dead announcer; once THAT request has gone
+        # stale as well, a new announcement takes it over.
+        simulated.simulator.run(until=simulated.simulator.now + 12.0)
+        assert block.block_hash not in receiver.relay._reconstructions
         receiver.relay.handle_cmpct_block(0, message)
         assert receiver.stats.getdata_retries == 1
         simulated.simulator.run(until=simulated.simulator.now + 30.0)
         assert receiver.blockchain.has_block(block.block_hash)
+
+    def test_unanswered_getblocktxn_times_out_to_full_fetch(self):
+        """Regression: a server that silently cannot answer a GETBLOCKTXN
+        (it lost the block) used to leave the requester's reconstruction
+        stalled and leaked forever; now a timer mirrors the flood GETDATA
+        retry — the stale reconstruction is dropped and a full-block GETDATA
+        goes out in its place."""
+        simulated = build_ring(relay="compact", getdata_retry_s=5.0)
+        network = simulated.network
+        receiver = simulated.node(1)
+        # The block's transaction is unknown to the receiver, forcing the
+        # GETBLOCKTXN round-trip.
+        simulated.node(0).create_transaction([("dest", 500)], broadcast=False)
+        block = mine_at(simulated, 0)
+        message = CmpctBlockMessage(
+            sender=4,
+            header=block.header,
+            height=block.height,
+            short_ids=tuple(short_txid(tx.txid) for tx in block.transactions[1:]),
+            coinbase=block.transactions[0],
+        )
+        # Announced by neighbour 4, which does not have the block yet: the
+        # GETBLOCKTXN it receives is silently unanswerable, and the in-flight
+        # reconstruction suppresses every real announcement that follows.
+        receiver.relay.handle_cmpct_block(4, message)
+        assert block.block_hash in receiver.relay._reconstructions
+        getdata_before = network.messages_sent.get("getdata", 0)
+        simulated.simulator.run(until=simulated.simulator.now + 30.0)
+        # The timer fired: reconstruction dropped, full fetch issued — and by
+        # then node 4 had the block, so the fallback actually completed it.
+        assert receiver.stats.compact_txn_timeouts == 1
+        assert receiver.stats.compact_fallbacks == 1
+        assert block.block_hash not in receiver.relay._reconstructions
+        assert network.messages_sent["getdata"] == getdata_before + 1
+        assert receiver.blockchain.has_block(block.block_hash)
+        assert receiver.blockchain.height == 2
+
+    def test_completed_reconstruction_cancels_timeout(self):
+        """The fallback timer must not fire after a normal completion."""
+        simulated = build_ring(relay="compact", getdata_retry_s=5.0)
+        receiver = simulated.node(1)
+        simulated.node(0).create_transaction([("dest", 500)], broadcast=False)
+        mine_at(simulated, 0)
+        simulated.simulator.run(until=90.0)
+        assert all(n.blockchain.height == 2 for n in simulated.nodes.values())
+        assert all(n.stats.compact_txn_timeouts == 0 for n in simulated.nodes.values())
+        assert receiver.stats.compact_fallbacks == 0
 
 
 class TestPushRelay:
@@ -239,6 +306,338 @@ class TestPushRelay:
             simulated.simulator.run(until=90.0)
         assert dict(pushed.network.messages_sent) == dict(flooded.network.messages_sent)
         assert all(n.stats.blocks_pushed == 0 for n in pushed.nodes.values())
+
+
+class TestAdaptiveRelay:
+    def dense_ring(self, **config_kwargs):
+        """Ring with i+1/i+2/i+3 chords (degree 6): enough redundant INV
+        traffic per relay wave for the duplicate-run narrowing to trigger."""
+        config = NodeConfig(relay_strategy="adaptive", **config_kwargs)
+        params = NetworkParameters(node_count=10, seed=2, node_config=config)
+        simulated = build_network(params)
+        network = simulated.network
+        ids = simulated.node_ids()
+        for index, node_id in enumerate(ids):
+            for offset in (1, 2, 3):
+                network.connect(node_id, ids[(index + offset) % len(ids)])
+        fund_nodes(list(simulated.nodes.values()), outputs_per_node=3)
+        return simulated
+
+    def test_starts_in_full_flood(self):
+        simulated = build_ring(relay="adaptive")
+        strategy = simulated.node(0).relay
+        assert strategy._fanout is None
+        assert strategy.effective_fanout() == len(
+            simulated.network.neighbors(0)
+        )
+
+    def test_narrows_under_redundant_traffic(self):
+        simulated = self.dense_ring()
+        for creator in (0, 4, 8, 2):
+            simulated.node(creator).create_transaction([("dest", 100)])
+            simulated.simulator.run(until=simulated.simulator.now + 30.0)
+        nodes = simulated.nodes.values()
+        narrowed = sum(n.stats.adaptive_fanout_narrowed for n in nodes)
+        assert narrowed > 0
+        # At least one node runs a fan-out below its degree now, and the
+        # width changes were recorded over time.
+        assert any(
+            n.relay._fanout is not None
+            and n.relay.effective_fanout() < len(simulated.network.neighbors(n.node_id))
+            for n in nodes
+        )
+        assert any(n.relay.fanout_history for n in nodes)
+        # Relay still converges: every mempool holds all four transactions.
+        assert all(len(n.mempool) == 4 for n in nodes)
+
+    def test_scores_novelty_first_delivery_and_latency(self):
+        simulated = build_ring(relay="adaptive")
+        network = simulated.network
+        node = simulated.node(0)
+        tx = simulated.node(1).create_transaction([("dest", 100)], broadcast=False)
+        network.send(
+            1,
+            0,
+            InvMessage(
+                sender=1,
+                inventory_type=InventoryType.TRANSACTION,
+                hashes=(tx.txid,),
+            ),
+        )
+        simulated.simulator.run(until=30.0)
+        score = node.relay.scores[1]
+        assert score.novel_invs == 1
+        assert score.first_deliveries == 1
+        assert score.latency_samples == 1
+        assert score.latency_ewma_s > 0.0
+        assert tx.txid in node.mempool
+
+    def test_stale_request_widens_fanout(self):
+        simulated = build_ring(relay="adaptive", getdata_retry_s=5.0)
+        network = simulated.network
+        node = simulated.node(0)
+        node.relay._fanout = 3  # pretend earlier narrowing happened
+        network.send(
+            1,
+            0,
+            InvMessage(sender=1, inventory_type=InventoryType.BLOCK, hashes=(FAKE_HASH,)),
+        )
+        simulated.simulator.run(until=2.0)
+        # Fresh in-flight: suppressed, no widening.
+        network.send(
+            3,
+            0,
+            InvMessage(sender=3, inventory_type=InventoryType.BLOCK, hashes=(FAKE_HASH,)),
+        )
+        simulated.simulator.run(until=4.0)
+        assert node.stats.adaptive_fanout_widened == 0
+        # Stale in-flight: retried from the new announcer AND widened.
+        simulated.simulator.run(until=10.0)
+        network.send(
+            3,
+            0,
+            InvMessage(sender=3, inventory_type=InventoryType.BLOCK, hashes=(FAKE_HASH,)),
+        )
+        simulated.simulator.run(until=12.0)
+        assert node.stats.getdata_retries == 1
+        assert node.stats.adaptive_fanout_widened == 1
+        assert node.relay._fanout == 4
+
+    def test_targets_are_top_ranked_plus_random_extra(self):
+        simulated = build_ring(relay="adaptive")
+        node = simulated.node(0)
+        strategy = node.relay
+        neighbours = simulated.network.neighbors(0)
+        assert len(neighbours) == 4
+        best = neighbours[0]
+        strategy._score(best).first_deliveries = 5
+        strategy._fanout = 2
+        targets = strategy._relay_targets(None)
+        assert len(targets) == 3  # two scored peers + one random extra
+        assert set(targets) <= set(neighbours)
+        assert best in targets
+
+    def test_adaptive_state_dropped_on_offline(self):
+        simulated = build_ring(relay="adaptive")
+        strategy = simulated.node(2).relay
+        strategy._probes["aa"] = (1, 0.0)
+        strategy._score(1).novel_invs = 3
+        strategy._fanout = 3
+        strategy._duplicate_run = 2
+        simulated.network.set_online(2, False)
+        assert not strategy._probes
+        assert not strategy.scores
+        assert strategy._fanout is None
+        assert strategy._duplicate_run == 0
+
+    def test_block_propagation_converges(self):
+        simulated = build_ring(relay="adaptive")
+        block = mine_at(simulated, 0)
+        simulated.simulator.run(until=90.0)
+        assert all(
+            n.blockchain.has_block(block.block_hash) for n in simulated.nodes.values()
+        )
+
+
+class TestHeadersRelay:
+    def two_nodes(self, seed=5, **config_kwargs):
+        config = NodeConfig(relay_strategy="headers", **config_kwargs)
+        params = NetworkParameters(node_count=2, seed=seed, node_config=config)
+        simulated = build_network(params)
+        fund_nodes(list(simulated.nodes.values()), outputs_per_node=2)
+        return simulated
+
+    def test_blocks_propagate_via_headers_announcements(self):
+        simulated = build_ring(relay="headers")
+        block = mine_at(simulated, 0)
+        simulated.simulator.run(until=90.0)
+        network = simulated.network
+        assert all(n.blockchain.height == 2 for n in simulated.nodes.values())
+        assert network.messages_sent["headers"] > 0
+        assert network.messages_sent["block"] >= simulated.node_count - 1
+
+    def test_multi_block_gap_filled_with_one_getheaders_roundtrip(self):
+        """A node several blocks behind catches up with one GETHEADERS and
+        one batched body GETDATA — not a per-orphan parent walk."""
+        simulated = self.two_nodes()
+        network = simulated.network
+        miner = simulated.node(0)
+        for _ in range(3):
+            mine_at(simulated, 0)  # no connections yet: announcements go nowhere
+        network.connect(0, 1)
+        miner.announce_block(miner.blockchain.tip.block_hash)
+        simulated.simulator.run(until=60.0)
+        behind = simulated.node(1)
+        assert behind.blockchain.tip.block_hash == miner.blockchain.tip.block_hash
+        assert network.messages_sent["getheaders"] == 1
+        assert behind.stats.getheaders_sent == 1
+        assert behind.stats.header_bodies_requested == 3
+        # All three bodies went out in ONE batched GETDATA.
+        assert network.messages_sent["getdata"] == 1
+
+    def test_resync_on_reconnect_uses_getheaders(self):
+        simulated = self.two_nodes(seed=6, resync_on_reconnect=True)
+        network = simulated.network
+        miner = simulated.node(0)
+        for _ in range(2):
+            mine_at(simulated, 0)
+        network.connect(0, 1)
+        simulated.simulator.run(until=60.0)
+        behind = simulated.node(1)
+        assert behind.blockchain.tip.block_hash == miner.blockchain.tip.block_hash
+        # Both endpoints asked the other for headers on connect.
+        assert behind.stats.getheaders_sent == 1
+        assert miner.stats.getheaders_sent == 1
+        assert behind.stats.reconnect_syncs >= 1
+        assert network.messages_sent["getheaders"] == 2
+
+    def test_flood_node_fetches_body_on_headers_announcement(self):
+        """Graceful interop: a flood node treats HEADERS as an announcement."""
+        config = NodeConfig()  # flood
+        simulated = build_network(
+            NetworkParameters(node_count=2, seed=7, node_config=config)
+        )
+        fund_nodes(list(simulated.nodes.values()), outputs_per_node=2)
+        block = mine_at(simulated, 0)
+        simulated.network.connect(0, 1)
+        simulated.network.send(
+            0,
+            1,
+            HeadersMessage(sender=0, headers=(block.header,), heights=(block.height,)),
+        )
+        simulated.simulator.run(until=30.0)
+        assert simulated.node(1).blockchain.has_block(block.block_hash)
+
+    def test_headers_state_dropped_on_offline(self):
+        simulated = build_ring(relay="headers")
+        strategy = simulated.node(2).relay
+        strategy._pending_getheaders[1] = 0.0
+        strategy._header_heights["aa"] = 5
+        strategy._body_queue.append(("aa", 1))
+        simulated.network.set_online(2, False)
+        assert not strategy._pending_getheaders
+        assert not strategy._header_heights
+        assert not strategy._body_queue
+
+    def test_block_locator_is_tip_first_exponential_genesis_last(self):
+        simulated = self.two_nodes(seed=8)
+        for _ in range(12):
+            mine_at(simulated, 0)
+        node = simulated.node(0)
+        chain = node.blockchain.best_chain()
+        locator = node.relay.block_locator()
+        assert locator[0] == chain[-1].block_hash
+        assert locator[-1] == chain[0].block_hash
+        assert len(locator) < len(chain)  # exponential spacing kicked in
+        heights = {b.block_hash: b.height for b in chain}
+        spaced = [heights[h] for h in locator]
+        assert spaced == sorted(spaced, reverse=True)
+
+
+class TestOrphanParentFetchDedup:
+    def orphan_sibling(self, index, parent_hash):
+        coinbase = Transaction.coinbase("miner-address", 100, tag=f"sib-{index}")
+        return Block.create(
+            previous=_FakeParent(parent_hash, 4),
+            transactions=(coinbase,),
+            timestamp=1.0,
+            nonce=index,
+            miner_id=9,
+        )
+
+    def test_orphan_burst_sends_one_parent_getdata(self):
+        """Regression: every orphan on the same missing branch used to
+        re-send the parent GETDATA, bypassing the pending-request dedup."""
+        simulated = build_ring()
+        network = simulated.network
+        node = simulated.node(0)
+        before = network.messages_sent.get("getdata", 0)
+        siblings = [self.orphan_sibling(i, FAKE_HASH) for i in range(4)]
+        for block in siblings:
+            node.accept_block(block, origin_peer=1)
+        assert network.messages_sent["getdata"] == before + 1
+        assert node.stats.getdata_saved == len(siblings) - 1
+        assert FAKE_HASH in node.relay.pending_block_requests
+
+    def test_orphan_burst_does_not_refresh_retry_clock(self):
+        """Regression: the duplicate parent fetches also refreshed the
+        in-flight timestamp, so the stale-retry could never fire."""
+        simulated = build_ring(getdata_retry_s=5.0)
+        network = simulated.network
+        simulator = simulated.simulator
+        node = simulated.node(0)
+        node.accept_block(self.orphan_sibling(0, FAKE_HASH), origin_peer=1)
+        requested_at = node.relay.pending_block_requests[FAKE_HASH]
+        simulator.run(until=3.0)
+        node.accept_block(self.orphan_sibling(1, FAKE_HASH), origin_peer=1)
+        assert node.relay.pending_block_requests[FAKE_HASH] == requested_at
+        # The request goes stale and a later announcement retries it.
+        simulator.run(until=10.0)
+        network.send(
+            3,
+            0,
+            InvMessage(sender=3, inventory_type=InventoryType.BLOCK, hashes=(FAKE_HASH,)),
+        )
+        simulator.run(until=20.0)
+        assert node.stats.getdata_retries == 1
+
+
+class TestMempoolCapacityDrops:
+    def test_capacity_drop_is_not_permanent(self):
+        """Regression: a tx rejected only because the pool was full stayed in
+        known_transactions forever, so no later INV could re-offer it once
+        the pool drained."""
+        from repro.protocol.messages import TxMessage
+
+        simulated = build_ring(mempool_max_size=1)
+        network = simulated.network
+        node = simulated.node(0)
+        tx1 = simulated.node(1).create_transaction([("dest", 100)], broadcast=False)
+        tx2 = simulated.node(3).create_transaction([("dest", 200)], broadcast=False)
+        network.send(1, 0, TxMessage(sender=1, transaction=tx1))
+        simulated.simulator.run(until=5.0)
+        assert tx1.txid in node.mempool
+        network.send(3, 0, TxMessage(sender=3, transaction=tx2))
+        simulated.simulator.run(until=10.0)
+        # Capacity drop: rejected, counted, and deliberately forgotten.
+        assert tx2.txid not in node.mempool
+        assert node.stats.mempool_capacity_drops == 1
+        assert tx2.txid not in node.known_transactions
+        # The pool drains (tx1 confirms in a block mined by node 1)...
+        mine_at(simulated, 1)
+        simulated.simulator.run(until=simulated.simulator.now + 60.0)
+        assert tx1.txid not in node.mempool
+        # ...and a late INV now triggers a fresh GETDATA and admission.
+        before = node.stats.getdata_sent
+        network.send(
+            3,
+            0,
+            InvMessage(
+                sender=3,
+                inventory_type=InventoryType.TRANSACTION,
+                hashes=(tx2.txid,),
+            ),
+        )
+        simulated.simulator.run(until=simulated.simulator.now + 30.0)
+        assert node.stats.getdata_sent == before + 1
+        assert tx2.txid in node.mempool
+
+    def test_conflict_rejection_still_remembered(self):
+        """Only *capacity* drops are forgotten: a conflicting tx stays in the
+        known-set (first-seen wins) and is never counted as a capacity drop."""
+        simulated = build_ring(mempool_max_size=10)
+        node = simulated.node(0)
+        spendable = node.spendable_outputs()[:1]
+        tx1 = Transaction.create_signed(node.keypair, spendable, [("dest", 100)])
+        conflict = Transaction.create_signed(
+            node.keypair, spendable, [("elsewhere", 100)]
+        )
+        node.accept_transaction(tx1, origin_peer=1)
+        assert tx1.txid in node.mempool
+        node.accept_transaction(conflict, origin_peer=3)
+        assert conflict.txid in node.known_transactions
+        assert node.stats.mempool_capacity_drops == 0
+        assert conflict.txid in node.observed_conflicts
 
 
 class TestGetdataDedup:
