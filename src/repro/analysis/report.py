@@ -60,6 +60,12 @@ _TIMESERIES_AXES = {
         "fraction of connections reached",
         1.0,
     ),
+    "mempool_backlog": (
+        "Observer mempool backlog under sustained load",
+        "simulated time (s)",
+        "pending transactions",
+        1.0,
+    ),
 }
 
 #: Percentiles tabulated for every delay metric (columns of the main table).
@@ -259,6 +265,9 @@ def render_report(
         )
         lines.append("")
 
+    # Load frontier ---------------------------------------------------------
+    lines.extend(_render_load_frontier(result, log))
+
     # Stored scalar summaries (always present; the only table for legacy runs)
     if result.summaries:
         lines.append("## Stored summaries")
@@ -318,6 +327,79 @@ def render_report(
             lines.append("```")
             lines.append("")
     return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def _render_load_frontier(result: ExperimentResult, log: SampleLog) -> list[str]:
+    """The load-frontier experiment's latency-vs-offered-load table.
+
+    Rendered from the envelope's stored per-seed streamed quantiles (one
+    scalar per seed per cell — P² estimates finalised inside each worker), so
+    the bootstrap here resamples *seeds*, never raw latencies; nothing is
+    re-simulated.
+    """
+    if result.experiment != "load_frontier":
+        return []
+    labels = [
+        label for label in log.labels() if log.values(label, "confirmation_p50_s")
+    ]
+    if not labels:
+        return []
+
+    def sort_key(label: str) -> tuple[str, float]:
+        summary = result.summaries.get(label, {})
+        return (label.split("@", 1)[0], float(summary.get("offered_tps", 0.0)))
+
+    rows = []
+    for label in sorted(labels, key=sort_key):
+        summary = result.summaries.get(label, {})
+        cells: list[str] = [
+            label.split("@", 1)[0],
+            _fmt(float(summary.get("offered_tps", float("nan")))),
+            _fmt(float(summary.get("confirmed_tps", float("nan")))),
+        ]
+        for metric in ("confirmation_p50_s", "confirmation_p99_s"):
+            groups = [
+                values for values in log.per_seed(label, metric).values() if values
+            ]
+            if not groups:
+                cells += ["—", "—"]
+                continue
+            interval = bootstrap_ci(
+                groups,
+                n_resamples=_BOOTSTRAP_RESAMPLES,
+                confidence=_BOOTSTRAP_CONFIDENCE,
+                seed=_BOOTSTRAP_SEED,
+            )
+            cells += [
+                _fmt(interval.point),
+                f"[{_fmt(interval.low)}, {_fmt(interval.high)}]",
+            ]
+        cells.append("yes" if summary.get("saturated") else "no")
+        rows.append(cells)
+    lines = ["## Latency vs offered load", ""]
+    lines.append(
+        format_markdown_table(
+            [
+                "policy",
+                "offered tx/s",
+                "confirmed tx/s",
+                "p50 (s)",
+                "p50 95% CI",
+                "p99 (s)",
+                "p99 95% CI",
+                "saturated",
+            ],
+            rows,
+        )
+    )
+    lines.append("")
+    lines.append(
+        "_Latency point estimates are across-seed means of per-seed streamed "
+        f"P² quantiles; CIs bootstrap the seed groups ({_BOOTSTRAP_RESAMPLES} "
+        f"resamples, seed {_BOOTSTRAP_SEED})._"
+    )
+    lines.append("")
+    return lines
 
 
 def _plain(value: Any) -> str:

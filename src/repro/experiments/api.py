@@ -61,6 +61,7 @@ DRIVER_MODULES = (
     "repro.experiments.ablation",
     "repro.experiments.churn_resilience",
     "repro.experiments.relay_comparison",
+    "repro.experiments.load_frontier",
     "repro.experiments.scale",
     "repro.experiments.validation",
 )

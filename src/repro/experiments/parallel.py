@@ -620,3 +620,104 @@ def run_ablation_job(job: AblationJob) -> AblationJobResult:
         average_degree=average_degree,
         average_path_length=average_path_length,
     )
+
+
+@dataclass(frozen=True)
+class LoadJob:
+    """One (protocol, offered load, seed) sustained-traffic cell.
+
+    Attributes:
+        protocol: neighbour-selection policy under test.
+        offered_tps: target aggregate transaction arrival rate (tx/s).
+        profile_kind: traffic schedule shape (``"constant"``, ``"ramp"`` or
+            ``"step"``; ramp/step reach ``offered_tps`` halfway through the
+            horizon).
+        seed: master seed for the cell's network, traffic and mining streams.
+        horizon_s: simulated seconds of sustained load.
+        block_interval_s: network-wide mean block interval.
+        max_block_bytes: block size cap (drives the fee market once offered
+            bytes/s exceed block bytes/s).
+        mempool_max_size: per-node mempool capacity (fee-priority eviction
+            above it).
+        confirmation_depth: burials needed before a transaction counts as
+            confirmed (``k`` in tx-generated → buried-``k``-deep).
+        mean_fee_satoshi: mean of the exponential per-transaction fee draw.
+        funding_outputs: confirmed outputs funded per node before load starts.
+        threshold_s: BCBPT latency threshold ``d_t`` in seconds.
+        config: shared experiment configuration.
+    """
+
+    protocol: str
+    offered_tps: float
+    profile_kind: str
+    seed: int
+    horizon_s: float
+    block_interval_s: float
+    max_block_bytes: int
+    mempool_max_size: int
+    confirmation_depth: int
+    mean_fee_satoshi: float
+    funding_outputs: int
+    threshold_s: float
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class LoadJobResult:
+    """Per-(protocol, rate, seed) streamed tallies merged by the load driver.
+
+    Confirmation quantiles are P² streaming estimates finalised inside the
+    worker (the estimator state cannot be merged), so the driver only ever
+    aggregates per-seed scalars — which is what makes the merge independent
+    of worker count.
+    """
+
+    protocol: str
+    offered_tps: float
+    seed: int
+    txs_generated: int
+    generation_failures: int
+    txs_confirmed: int
+    pending_at_end: int
+    confirmation_p50_s: float
+    confirmation_p99_s: float
+    confirmation_mean_s: float
+    confirmation_max_s: float
+    backlog_curve: tuple[tuple[float, int], ...]
+    blocks_mined: int
+    full_blocks_mined: int
+    total_fees_collected: int
+    fee_evictions: int
+    capacity_drops: int
+    conflict_evictions: int
+    events: int
+    horizon_s: float
+
+    @property
+    def generated_tps(self) -> float:
+        """Achieved generation rate (tx/s) over the horizon."""
+        return self.txs_generated / self.horizon_s if self.horizon_s > 0 else 0.0
+
+    @property
+    def confirmed_tps(self) -> float:
+        """Confirmed throughput (tx/s) over the horizon."""
+        return self.txs_confirmed / self.horizon_s if self.horizon_s > 0 else 0.0
+
+    @property
+    def backlog_final(self) -> int:
+        """Observer mempool depth at the end of the horizon."""
+        return self.backlog_curve[-1][1] if self.backlog_curve else 0
+
+    @property
+    def backlog_mid(self) -> int:
+        """Observer mempool depth halfway through the horizon."""
+        if not self.backlog_curve:
+            return 0
+        return self.backlog_curve[len(self.backlog_curve) // 2][1]
+
+
+def run_load_job(job: LoadJob) -> LoadJobResult:
+    """Execute one load cell — the process-pool entry point."""
+    from repro.experiments.load_frontier import run_load_seed
+
+    return run_load_seed(job)

@@ -133,8 +133,18 @@ class Blockchain:
     def _maybe_reorganize(self, candidate: Block) -> bool:
         current = self.tip
         if candidate.height > current.height:
+            if (
+                candidate.previous_hash == current.block_hash
+                and self._best_chain_txids is not None
+            ):
+                # Pure tip extension: the best chain grows by exactly this
+                # block, so the confirmed-txid cache can grow with it instead
+                # of being rebuilt from genesis (O(chain) per accepted block,
+                # which dominates long sustained-load runs).
+                self._best_chain_txids.update(candidate.txids)
+            else:
+                self._best_chain_txids = None
             self._tip_hash = candidate.block_hash
-            self._best_chain_txids = None
             return True
         # Equal height: keep the first-seen tip (Bitcoin's behaviour).
         return False

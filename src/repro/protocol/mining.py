@@ -19,13 +19,71 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.protocol.block import BLOCK_REWARD_SATOSHI, Block
+from repro.protocol.mempool import Mempool
 from repro.protocol.node import BitcoinNode
-from repro.protocol.transaction import Transaction
+from repro.protocol.transaction import (
+    TX_BASE_BYTES,
+    TX_INPUT_BYTES,
+    TX_OUTPUT_BYTES,
+    Transaction,
+)
 from repro.sim.engine import Simulator
 from repro.sim.process import Timeout
 
 #: Bitcoin's target average block interval in seconds.
 DEFAULT_BLOCK_INTERVAL_S = 600.0
+
+#: Serialized bytes of a block header (matches ``Block.size_bytes``).
+BLOCK_HEADER_BYTES = 80
+
+#: Smallest possible transaction (one input, one output): if even this does
+#: not fit in a template's remaining byte budget, the block is full.
+MIN_TX_BYTES = TX_BASE_BYTES + TX_INPUT_BYTES + TX_OUTPUT_BYTES
+
+
+@dataclass(frozen=True)
+class BlockTemplate:
+    """Transactions chosen for the next block, highest feerate first.
+
+    Built from a miner's mempool by :meth:`build`: the selection greedily
+    packs the fee-priority order into ``max_bytes`` (when given), so under
+    sustained load blocks fill toward their cap and low-feerate transactions
+    wait — the congestion behaviour the load-frontier experiment measures.
+    With no byte cap and all-zero fees the template reduces to the historical
+    oldest-first, count-capped selection.
+
+    Attributes:
+        transactions: the selected transactions (coinbase excluded).
+        total_bytes: serialized bytes of the selected transactions.
+        total_fees: satoshi the miner collects on top of the block reward.
+        byte_budget: the byte budget the template was packed against (None
+            when unlimited).
+    """
+
+    transactions: tuple[Transaction, ...]
+    total_bytes: int
+    total_fees: int
+    byte_budget: Optional[int] = None
+
+    @property
+    def is_full(self) -> bool:
+        """Whether even the smallest transaction could not be appended."""
+        if self.byte_budget is None:
+            return False
+        return self.total_bytes + MIN_TX_BYTES > self.byte_budget
+
+    @staticmethod
+    def build(
+        mempool: Mempool, max_count: int, *, max_bytes: Optional[int] = None
+    ) -> "BlockTemplate":
+        """Assemble a template from ``mempool``'s fee-priority order."""
+        selected = mempool.select_for_block(max_count, max_bytes=max_bytes)
+        return BlockTemplate(
+            transactions=tuple(selected),
+            total_bytes=sum(tx.size_bytes for tx in selected),
+            total_fees=sum(mempool.fee(tx.txid) or 0 for tx in selected),
+            byte_budget=max_bytes,
+        )
 
 
 @dataclass(frozen=True)
@@ -50,6 +108,10 @@ class MiningProcess:
         rng: random stream for block intervals and winner selection.
         block_interval_s: network-wide mean time between blocks.
         max_block_transactions: cap on transactions per block.
+        max_block_bytes: cap on a block's serialized size (header + coinbase
+            + selected transactions), like Bitcoin's 1 MB limit.  None (the
+            default) leaves blocks count-capped only, the historical
+            behaviour.
         on_block_mined: optional callback ``(block, miner_id)`` fired after
             the winning miner accepts its own block (before propagation).
     """
@@ -63,12 +125,18 @@ class MiningProcess:
         *,
         block_interval_s: float = DEFAULT_BLOCK_INTERVAL_S,
         max_block_transactions: int = 2000,
+        max_block_bytes: Optional[int] = None,
         on_block_mined: Optional[Callable[[Block, int], None]] = None,
     ) -> None:
         if not miners:
             raise ValueError("at least one miner is required")
         if block_interval_s <= 0:
             raise ValueError(f"block interval must be positive, got {block_interval_s}")
+        if max_block_bytes is not None and max_block_bytes <= BLOCK_HEADER_BYTES:
+            raise ValueError(
+                f"max_block_bytes must exceed the {BLOCK_HEADER_BYTES}-byte header, "
+                f"got {max_block_bytes}"
+            )
         total_power = sum(m.hash_power for m in miners)
         if total_power <= 0:
             raise ValueError("total hash power must be positive")
@@ -79,8 +147,13 @@ class MiningProcess:
         self._rng = rng
         self.block_interval_s = float(block_interval_s)
         self.max_block_transactions = int(max_block_transactions)
+        self.max_block_bytes = max_block_bytes
         self._on_block_mined = on_block_mined
         self.blocks_mined = 0
+        #: Blocks whose template hit the byte cap (``max_block_bytes`` only).
+        self.full_blocks_mined = 0
+        #: Total miner fees collected across all blocks mined.
+        self.total_fees_collected = 0
         self._running = False
 
     def start(self) -> None:
@@ -122,16 +195,23 @@ class MiningProcess:
         miner = self._nodes.get(winner_id)
         if miner is None or miner.network is None or not miner.network.is_online(winner_id):
             return None
-        selected = miner.mempool.select_for_block(self.max_block_transactions - 1)
         coinbase = Transaction.coinbase(
             miner.keypair.address,
             BLOCK_REWARD_SATOSHI,
             created_at=self._simulator.now,
             tag=f"{winner_id}:{miner.blockchain.height + 1}:{self.blocks_mined}",
         )
+        tx_budget = None
+        if self.max_block_bytes is not None:
+            tx_budget = max(
+                self.max_block_bytes - BLOCK_HEADER_BYTES - coinbase.size_bytes, 0
+            )
+        template = BlockTemplate.build(
+            miner.mempool, self.max_block_transactions - 1, max_bytes=tx_budget
+        )
         block = Block.create(
             miner.blockchain.tip,
-            [coinbase, *selected],
+            [coinbase, *template.transactions],
             timestamp=self._simulator.now,
             nonce=self.blocks_mined,
             miner_id=winner_id,
@@ -140,6 +220,9 @@ class MiningProcess:
         if not accepted:
             return None
         self.blocks_mined += 1
+        if template.is_full:
+            self.full_blocks_mined += 1
+        self.total_fees_collected += template.total_fees
         if self._on_block_mined is not None:
             self._on_block_mined(block, winner_id)
         return block

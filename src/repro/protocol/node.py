@@ -193,6 +193,13 @@ class NodeStatistics:
     #: Transactions rejected *only* because the mempool was at capacity; the
     #: txid is deliberately forgotten so a later INV can re-offer it.
     mempool_capacity_drops: int = 0
+    #: Pending transactions evicted from the full mempool by a higher-feerate
+    #: arrival; the evicted txid is forgotten just like a capacity drop.
+    mempool_fee_evictions: int = 0
+    #: Pending transactions dropped because a confirmed block spent one of
+    #: their inputs (or, after a reorg, left them unspendable).  The txid
+    #: stays remembered — the transaction is permanently dead.
+    mempool_conflict_evictions: int = 0
     #: Adaptive fan-out width adjustments (``relay_strategy="adaptive"``).
     adaptive_fanout_widened: int = 0
     adaptive_fanout_narrowed: int = 0
@@ -403,13 +410,22 @@ class BitcoinNode:
         destinations: list[tuple[str, int]],
         *,
         broadcast: bool = True,
+        fee: int = 0,
     ) -> Transaction:
         """Create, sign, accept and (optionally) announce a payment.
 
+        Args:
+            destinations: ``(address, value)`` pairs to pay.
+            broadcast: whether to announce the transaction to the neighbours.
+            fee: miner fee in satoshi (inputs minus outputs); ``fee=0``
+                produces the historical byte-identical transaction.
+
         Raises:
-            ValueError: if the wallet cannot cover the requested amount.
+            ValueError: if the wallet cannot cover the requested amount plus fee.
         """
-        total_needed = sum(value for _, value in destinations)
+        if fee < 0:
+            raise ValueError(f"fee cannot be negative, got {fee}")
+        total_needed = sum(value for _, value in destinations) + fee
         selected: list[tuple[str, int, int]] = []
         gathered = 0
         for candidate in self.spendable_outputs():
@@ -422,7 +438,7 @@ class BitcoinNode:
                 f"node {self.node_id} cannot fund {total_needed} satoshi (balance {gathered})"
             )
         tx = Transaction.create_signed(
-            self.keypair, selected, destinations, created_at=self.now
+            self.keypair, selected, destinations, created_at=self.now, fee=fee
         )
         self.stats.transactions_created += 1
         self.accept_transaction(tx, origin_peer=None)
@@ -439,13 +455,15 @@ class BitcoinNode:
         self.known_transactions.add(tx.txid)
         self.transaction_first_seen_times.setdefault(tx.txid, self.now)
         self.relay.note_transaction_received(tx.txid)
-        result = self.validator.validate_transaction(tx, self._effective_utxo_for(tx))
+        effective_utxo = self._effective_utxo_for(tx)
+        result = self.validator.validate_transaction(tx, effective_utxo)
         if not result.valid:
             self.stats.transactions_rejected += 1
             return result
         if self.blockchain.contains_transaction(tx.txid):
             return result
-        if not self.mempool.add(tx, arrival_time=self.now):
+        fee = self._transaction_fee(tx, effective_utxo)
+        if not self.mempool.add(tx, arrival_time=self.now, fee=fee):
             # Conflict with a first-seen transaction, duplicate, or full pool.
             if tx.txid not in self.mempool:
                 conflicting = self.mempool.conflicting_txid(tx)
@@ -461,6 +479,12 @@ class BitcoinNode:
                     self.stats.mempool_capacity_drops += 1
             self.stats.transactions_rejected += 1
             return ValidationResult(False, None, result.verification_cost_s)
+        for evicted in self.mempool.last_evicted:
+            # Fee-priority eviction made room: forget the evicted txid for the
+            # same reason a capacity drop forgets it — a later INV must be
+            # able to re-offer the transaction once fee pressure eases.
+            self.known_transactions.discard(evicted.txid)
+            self.stats.mempool_fee_evictions += 1
         self.stats.transactions_accepted += 1
         self.transaction_accept_times[tx.txid] = self.now
         for listener in self.transaction_listeners:
@@ -485,6 +509,23 @@ class BitcoinNode:
             if extended.can_apply(pending):
                 extended.apply_transaction(pending)
         return extended
+
+    def _transaction_fee(self, tx: Transaction, utxo: UtxoSet) -> int:
+        """Implicit miner fee of a validated transaction (inputs - outputs).
+
+        ``utxo`` must be the view the transaction was validated against, so
+        every input resolves; coinbases mint rather than spend and carry no
+        fee.
+        """
+        if tx.is_coinbase:
+            return 0
+        total_in = 0
+        for tx_input in tx.inputs:
+            entry = utxo.get(tx_input.outpoint)
+            if entry is None:
+                return 0
+            total_in += entry.value
+        return max(total_in - tx.total_output_value, 0)
 
     # ------------------------------------------------------------- conflicts
     def _observe_conflict(
@@ -537,15 +578,43 @@ class BitcoinNode:
                 self.relay.request_parent(origin_peer, block.previous_hash)
             return False
         parent = self.blockchain.get_block(block.previous_hash)
-        parent_utxo = self._utxo_as_of(parent)
+        # Fast path for the overwhelmingly common case — the block extends the
+        # current tip.  ``self.utxo`` *is* the ledger as of the tip (the
+        # invariant this method maintains), so it can be validated against
+        # directly (``validate_block`` works on a copy) and then advanced
+        # incrementally, instead of replaying the whole chain from genesis
+        # twice per block (O(chain²) over a long sustained-load run).
+        extends_tip = block.previous_hash == self.blockchain.tip.block_hash
+        parent_utxo = self.utxo if extends_tip else self._utxo_as_of(parent)
         result = self.validator.validate_block(block, parent, parent_utxo)
         if not result.valid:
             return False
         tip_changed = self.blockchain.add_block(block, observed_at=self.now)
         self.stats.blocks_accepted += 1
         if tip_changed:
-            self.utxo = self.blockchain.utxo_set()
+            if extends_tip:  # extending the tip always wins the height race
+                for tx in block.transactions:
+                    self.utxo.apply_transaction(tx, block_hash=block.block_hash)
+            else:
+                self.utxo = self.blockchain.utxo_set()
             self.mempool.remove_confirmed(block.txids)
+            # A confirmed spend kills any pending double-spend of the same
+            # output; left in the pool it would be packed into templates (and
+            # invalidate every block built from them) forever.  The dead txid
+            # stays in known_transactions — unlike a capacity drop, the
+            # transaction can never become valid again, so re-offering it is
+            # pointless.
+            if extends_tip:
+                spent = {
+                    tx_input.outpoint
+                    for tx in block.transactions
+                    if not tx.is_coinbase
+                    for tx_input in tx.inputs
+                }
+                dead = self.mempool.remove_conflicts(spent)
+            else:
+                dead = self.mempool.remove_unspendable(self.utxo)
+            self.stats.mempool_conflict_evictions += len(dead)
         now = self.now
         for listener in self.block_listeners:
             listener(self.node_id, block, now)

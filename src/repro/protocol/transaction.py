@@ -134,6 +134,7 @@ class Transaction:
         *,
         created_at: float = 0.0,
         change_address: Optional[str] = None,
+        fee: int = 0,
     ) -> "Transaction":
         """Build and sign a transaction.
 
@@ -144,20 +145,26 @@ class Transaction:
             created_at: simulated creation time.
             change_address: where to send any excess input value; defaults to
                 the sender's own address.
+            fee: satoshi left unclaimed by the outputs (a miner fee, as in
+                real Bitcoin: fee = inputs - outputs).  The fee comes out of
+                the change output, so ``fee=0`` produces a byte-identical
+                transaction to the pre-fee code path.
 
         Raises:
-            ValueError: if the destinations exceed the spendable value.
+            ValueError: if the destinations plus fee exceed the spendable value.
         """
         if not spendable:
             raise ValueError("cannot create a transaction with no spendable outputs")
+        if fee < 0:
+            raise ValueError(f"fee cannot be negative, got {fee}")
         total_in = sum(value for _, _, value in spendable)
         total_out = sum(value for _, value in destinations)
-        if total_out > total_in:
+        if total_out + fee > total_in:
             raise ValueError(
-                f"outputs ({total_out}) exceed spendable inputs ({total_in})"
+                f"outputs ({total_out}) plus fee ({fee}) exceed spendable inputs ({total_in})"
             )
         outputs = [TxOutput(value=value, address=address) for address, value in destinations]
-        change = total_in - total_out
+        change = total_in - total_out - fee
         if change > 0:
             outputs.append(TxOutput(value=change, address=change_address or keypair.address))
         unsigned_inputs = tuple(

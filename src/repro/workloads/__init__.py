@@ -5,6 +5,10 @@
   :class:`~repro.workloads.network_gen.NetworkParameters` description;
 * :mod:`repro.workloads.generators` — funding helpers and background
   transaction workload generators;
+* :mod:`repro.workloads.traffic` — the open-loop traffic plane: load
+  schedules (:class:`~repro.workloads.traffic.TrafficProfile`), per-seed fee
+  draws, Poisson generation as simulator events and streamed confirmation
+  latency (:class:`~repro.workloads.traffic.ConfirmationTracker`);
 * :mod:`repro.workloads.scenarios` — named presets combining a network, a
   neighbour-selection policy and (optionally) churn, used by the examples,
   experiments and benchmarks.
@@ -18,6 +22,12 @@ one call that assembles network + policy + relay + churn from names),
 
 from repro.workloads.generators import TransactionWorkload, WorkloadConfig, fund_nodes
 from repro.workloads.network_gen import NetworkParameters, SimulatedNetwork, build_network
+from repro.workloads.traffic import (
+    ConfirmationTracker,
+    FeeModel,
+    TrafficModel,
+    TrafficProfile,
+)
 from repro.workloads.scenarios import (
     POLICY_NAMES,
     RELAY_NAMES,
@@ -31,11 +41,15 @@ from repro.workloads.scenarios import (
 
 __all__ = [
     "ChurnSchedule",
+    "ConfirmationTracker",
+    "FeeModel",
     "NetworkParameters",
     "POLICY_NAMES",
     "RELAY_NAMES",
     "Scenario",
     "SimulatedNetwork",
+    "TrafficModel",
+    "TrafficProfile",
     "TransactionWorkload",
     "WorkloadConfig",
     "build_network",

@@ -30,6 +30,7 @@ EXPECTED_NAMES = [
     "ablation",
     "churn_resilience",
     "relay_comparison",
+    "load_frontier",
     "scale",
     "validation",
 ]

@@ -44,6 +44,11 @@ TINY_ARGS = {
         "--protocols", "bitcoin", "bcbpt",
         "--blocks", "1", "--txs-per-block", "2",
     ],
+    "load_frontier": [
+        "--nodes", "12", "--runs", "1", "--seeds", "3", "--measuring-nodes", "1",
+        "--rates", "1", "4", "--horizon", "60", "--block-interval", "4",
+        "--depth", "2", "--funding-outputs", "4",
+    ],
     "scale": [
         "--nodes", "30", "--runs", "1", "--seeds", "3", "--measuring-nodes", "1",
         "--node-counts", "20", "30", "--protocols", "bitcoin", "--cell-runs", "1",

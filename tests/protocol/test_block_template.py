@@ -1,0 +1,180 @@
+"""Tests for fee plumbing, byte-capped block templates and the tip fast path."""
+
+import pytest
+
+from repro.protocol.crypto import KeyPair
+from repro.protocol.mempool import Mempool
+from repro.protocol.mining import (
+    BLOCK_HEADER_BYTES,
+    MIN_TX_BYTES,
+    BlockTemplate,
+    MiningProcess,
+    equal_hash_power,
+)
+from repro.protocol.node import NodeConfig
+from repro.protocol.transaction import Transaction
+from repro.workloads.generators import fund_nodes
+from repro.workloads.network_gen import NetworkParameters, build_network
+
+WALLET = KeyPair.generate("template-wallet")
+
+
+def fee_tx(index, fee, extra_outputs=1):
+    """An independent signed transaction paying ``fee`` satoshi."""
+    coinbase = Transaction.coinbase(WALLET.address, 1_000_000, tag=f"tpl-{index}")
+    destinations = [(f"dest-{j}", 100) for j in range(extra_outputs)]
+    return Transaction.create_signed(
+        WALLET, [(coinbase.txid, 0, 1_000_000)], destinations, fee=fee
+    )
+
+
+def filled_pool(fees):
+    pool = Mempool()
+    txs = []
+    for index, fee in enumerate(fees):
+        tx = fee_tx(index, fee)
+        assert pool.add(tx, arrival_time=float(index), fee=fee)
+        txs.append(tx)
+    return pool, txs
+
+
+class TestTransactionFees:
+    def test_fee_shrinks_the_change_output(self):
+        no_fee = fee_tx(0, 0)
+        with_fee = fee_tx(0, 250)
+        assert no_fee.total_output_value - with_fee.total_output_value == 250
+
+    def test_zero_fee_body_is_unchanged(self):
+        """fee=0 must be byte-identical to the pre-fee encoding — the golden
+        fingerprint safety of every existing workload rests on this."""
+        assert fee_tx(3, 0).txid == fee_tx(3, 0).txid
+        assert fee_tx(3, 0).body() == fee_tx(3, 0).body()
+
+    def test_fee_validation(self):
+        coinbase = Transaction.coinbase(WALLET.address, 1_000, tag="v")
+        with pytest.raises(ValueError, match="fee"):
+            Transaction.create_signed(
+                WALLET, [(coinbase.txid, 0, 1_000)], [("dest", 100)], fee=-1
+            )
+        with pytest.raises(ValueError, match="exceed"):
+            Transaction.create_signed(
+                WALLET, [(coinbase.txid, 0, 1_000)], [("dest", 900)], fee=200
+            )
+
+
+class TestBlockTemplate:
+    def test_orders_by_feerate(self):
+        pool, txs = filled_pool([10, 5_000, 100])
+        template = BlockTemplate.build(pool, 10)
+        assert [tx.txid for tx in template.transactions] == [
+            txs[1].txid,
+            txs[2].txid,
+            txs[0].txid,
+        ]
+        assert template.total_fees == 5_110
+        assert template.total_bytes == sum(tx.size_bytes for tx in txs)
+        assert not template.is_full  # no byte budget
+
+    def test_byte_budget_packs_greedily(self):
+        pool, txs = filled_pool([10, 5_000, 100])
+        tx_bytes = txs[0].size_bytes  # all three are the same shape
+        template = BlockTemplate.build(pool, 10, max_bytes=2 * tx_bytes)
+        assert [tx.txid for tx in template.transactions] == [txs[1].txid, txs[2].txid]
+        assert template.total_fees == 5_100
+        assert template.is_full  # MIN_TX_BYTES no longer fits
+
+    def test_count_cap_still_applies(self):
+        pool, txs = filled_pool([10, 5_000, 100])
+        template = BlockTemplate.build(pool, 1)
+        assert [tx.txid for tx in template.transactions] == [txs[1].txid]
+
+    def test_big_tx_is_skipped_not_blocking(self):
+        """Greedy packing skips a transaction that would overflow the budget
+        and keeps filling with smaller ones behind it."""
+        pool = Mempool()
+        big = fee_tx(0, 9_000, extra_outputs=3)
+        small = fee_tx(1, 10, extra_outputs=1)
+        pool.add(big, arrival_time=0.0, fee=9_000)
+        pool.add(small, arrival_time=1.0, fee=10)
+        budget = small.size_bytes  # too small for big, exactly fits small
+        template = BlockTemplate.build(pool, 10, max_bytes=budget)
+        assert [tx.txid for tx in template.transactions] == [small.txid]
+
+
+def build_mining_network(node_count=10, seed=5, **config_kwargs):
+    params = NetworkParameters(
+        node_count=node_count, seed=seed, node_config=NodeConfig(**config_kwargs)
+    )
+    simulated = build_network(params)
+    ids = simulated.node_ids()
+    for index, node_id in enumerate(ids):
+        simulated.network.connect(node_id, ids[(index + 1) % len(ids)])
+        simulated.network.connect(node_id, ids[(index + 3) % len(ids)])
+    fund_nodes(list(simulated.nodes.values()), outputs_per_node=4)
+    return simulated
+
+
+class TestByteCappedMining:
+    def make_mining(self, simulated, **kwargs):
+        return MiningProcess(
+            simulated.simulator,
+            simulated.nodes,
+            equal_hash_power(simulated.node_ids()),
+            simulated.simulator.random.stream("mining"),
+            **kwargs,
+        )
+
+    def test_capped_block_respects_the_byte_limit(self):
+        simulated = build_mining_network()
+        miner = simulated.node(0)
+        for index in range(4):
+            tx = miner.create_transaction([("dest", 100)], broadcast=False, fee=100 * (index + 1))
+        cap = BLOCK_HEADER_BYTES + 44 + 2 * tx.size_bytes + MIN_TX_BYTES - 1
+        mining = self.make_mining(simulated, max_block_bytes=cap)
+        block = mining.mine_one_block(winner_id=0)
+        assert block is not None
+        assert block.size_bytes <= cap
+        assert len(block.transactions) == 3  # coinbase + the two that fit
+        assert mining.full_blocks_mined == 1
+        # The two highest-fee transactions were chosen.
+        assert mining.total_fees_collected == 400 + 300
+
+    def test_uncapped_mining_collects_fees_without_full_blocks(self):
+        simulated = build_mining_network()
+        miner = simulated.node(0)
+        for index in range(3):
+            miner.create_transaction([("dest", 100)], broadcast=False, fee=50)
+        mining = self.make_mining(simulated)
+        assert mining.mine_one_block(winner_id=0) is not None
+        assert mining.full_blocks_mined == 0
+        assert mining.total_fees_collected == 150
+
+    def test_cap_must_exceed_the_header(self):
+        simulated = build_mining_network()
+        with pytest.raises(ValueError, match="max_block_bytes"):
+            self.make_mining(simulated, max_block_bytes=BLOCK_HEADER_BYTES)
+
+
+class TestTipExtensionFastPath:
+    def test_incremental_utxo_matches_full_rebuild(self):
+        """After a run of tip extensions the fast path's incrementally-applied
+        UTXO view must equal a from-genesis rebuild on every node."""
+        simulated = build_mining_network()
+        mining = MiningProcess(
+            simulated.simulator,
+            simulated.nodes,
+            equal_hash_power(simulated.node_ids()),
+            simulated.simulator.random.stream("mining"),
+        )
+        for _ in range(4):
+            creator = simulated.node(0)
+            creator.create_transaction([("dest", 100)], fee=25)
+            simulated.simulator.run(until=simulated.simulator.now + 5.0)
+            assert mining.mine_one_block() is not None
+            simulated.simulator.run(until=simulated.simulator.now + 30.0)
+        for node in simulated.nodes.values():
+            rebuilt = node.blockchain.utxo_set()
+            incremental = {entry.outpoint: entry.value for entry in node.utxo.entries()}
+            expected = {entry.outpoint: entry.value for entry in rebuilt.entries()}
+            assert incremental == expected
+            assert node.blockchain.height >= 4
