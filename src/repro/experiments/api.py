@@ -44,6 +44,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
+from repro.experiments.backends import ExecutionPlan, GridIncomplete, use_plan
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import ExperimentReport
 from repro.experiments.results import ExperimentResult
@@ -318,6 +319,7 @@ def run_experiment(
     name: str,
     config: Optional[ExperimentConfig] = None,
     options: Optional[Mapping[str, Any]] = None,
+    plan: Optional[ExecutionPlan] = None,
 ) -> ExperimentResult:
     """Execute one registered experiment and wrap the outcome in an envelope.
 
@@ -327,6 +329,24 @@ def run_experiment(
     :class:`~repro.experiments.results.ExperimentResult` whose in-memory
     ``payload`` attribute still carries the driver's native result objects
     (not serialised) for callers that need the full detail.
+
+    Args:
+        name: registry name of the experiment.
+        config: shared configuration (defaults apply when omitted).
+        options: experiment-specific option values.
+        plan: execution plan — backend choice, checkpoint store, shard
+            slice, cell budget (see
+            :class:`~repro.experiments.backends.ExecutionPlan`).  The plan
+            is installed for the duration of the driver call, so every
+            ``run_seed_grid`` inside it inherits backends and
+            checkpoint/resume with no driver changes.  Defaults to plain
+            ``config.workers``-driven execution.
+
+    Raises:
+        GridIncomplete: the plan finished without producing every grid cell
+            (a shard slice or an exhausted ``max_cells`` budget).  Completed
+            cells are already checkpointed; resume with the same store, or
+            reassemble shards with ``repro shard merge``.
     """
     spec = get_experiment(name)
     cfg = config if config is not None else ExperimentConfig()
@@ -339,8 +359,24 @@ def run_experiment(
             labels = list(kwargs[key])
     validate_protocol_labels(labels)
 
+    active_plan = plan if plan is not None else ExecutionPlan()
+    active_plan.experiment = spec.name
+
     started = time.time()
-    payload = spec.run(cfg, **kwargs)
+    try:
+        with use_plan(active_plan):
+            payload = spec.run(cfg, **kwargs)
+    except GridIncomplete:
+        raise
+    except Exception as exc:
+        if active_plan.incomplete:
+            # A shard/budget run left holes in the grid; the driver's merge
+            # tripping over a MISSING placeholder is the expected outcome,
+            # not a driver bug — every cell in the slice is already stored.
+            raise GridIncomplete(active_plan, cause=exc) from exc
+        raise
+    if active_plan.incomplete:
+        raise GridIncomplete(active_plan)
 
     sections: list[tuple[str, str]] = []
     if spec.report is not None:

@@ -7,11 +7,16 @@ One command drives every registered experiment::
     repro run fig3 --nodes 200 --runs 10 --workers 4
     repro run fig4 --thresholds-ms 30 50 100
     repro run fig3 --sweep latency_threshold_s=0.02,0.03
+    repro run fig3 --backend pool --resume      # checkpoint + resume cells
+    repro shard run fig3 --shard 0/2 --cells a  # one deterministic slice
+    repro shard merge fig3 a b                  # reassemble the full grid
     repro compare fig3                          # diff the two newest runs
     repro compare fig3/<run-a> fig3/<run-b>     # diff two specific runs
+    repro compare fig3 --where nodes=200        # ... two newest matching runs
     repro report                                # markdown report, newest run
     repro report fig3                           # ... newest fig3 run
     repro report fig3/<run-a>                   # ... one specific run
+    repro report 'fig3?nodes=200,policy=bcbpt'  # ... newest matching run
     repro report --compare fig3/<a> fig3/<b>    # side-by-side deltas
 
 ``run`` composes the shared :meth:`ExperimentConfig.add_arguments` flags with
@@ -43,11 +48,24 @@ from repro.experiments.api import (
     get_experiment,
     run_experiment,
 )
+from repro.experiments.backends import BACKEND_NAMES, ExecutionPlan, GridIncomplete
+from repro.experiments.checkpoint import CellStore
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_table
-from repro.experiments.results import ResultStore, diff_results
+from repro.experiments.results import (
+    ResultStore,
+    diff_results,
+    json_safe,
+    parse_where,
+    resolve_run_selector,
+)
 
 PROG = "repro"
+
+#: Exit code for a sweep that completed without producing every cell — the
+#: *expected* outcome of `--max-cells`-limited runs; distinct from a verdict
+#: failure (1) and a usage error (2) so drivers can branch on it.
+EXIT_INCOMPLETE = 3
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -55,6 +73,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "run":
         return _dispatch_run(argv[1:])
+    if argv and argv[0] == "shard":
+        return _dispatch_shard(argv[1:])
     parser = _top_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -62,7 +82,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "describe":
         return _cmd_describe(args.name)
     if args.command == "compare":
-        return _cmd_compare(args.runs, args.results_dir)
+        return _cmd_compare(args)
     if args.command == "report":
         return _cmd_report(args)
     parser.print_help()
@@ -83,12 +103,30 @@ def _top_parser() -> argparse.ArgumentParser:
     # experiment's own options appear in `run <name> --help`.
     run = sub.add_parser("run", help="run an experiment", add_help=False)
     run.add_argument("name", nargs="?")
+    # `shard` is likewise parsed by _dispatch_shard (it reuses the per-
+    # experiment run parser); this stub only provides the help line.
+    shard = sub.add_parser(
+        "shard",
+        help="run one deterministic slice of a sweep, or merge shard stores",
+        add_help=False,
+    )
+    shard.add_argument("mode", nargs="?")
     compare = sub.add_parser("compare", help="diff two stored runs")
     compare.add_argument(
         "runs",
         nargs="+",
-        help="either two run ids (e.g. fig3/20260729T144501-001) or one "
-        "experiment name, meaning its two newest stored runs",
+        help="either two run refs (run ids like fig3/20260729T144501-001, or "
+        "parameter selectors like 'fig3?nodes=200,policy=bcbpt' meaning the "
+        "newest matching run) or one experiment name, meaning its two newest "
+        "stored runs",
+    )
+    compare.add_argument(
+        "--where",
+        default=None,
+        metavar="K=V[,K=V...]",
+        help="with one experiment name: restrict the 'two newest runs' to "
+        "those matching every condition (config fields, options, protocol "
+        "labels, seeds — e.g. nodes=10000,policy=bcbpt)",
     )
     compare.add_argument(
         "--results-dir", default=None, help="result store root (default: results/)"
@@ -102,7 +140,16 @@ def _top_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="run id (fig3/<stamp>-001), run directory, experiment name "
-        "(meaning its newest run) or 'latest' (the default: newest run overall)",
+        "(meaning its newest run), parameter selector "
+        "('fig3?nodes=200,policy=bcbpt': the newest matching run) or "
+        "'latest' (the default: newest run overall)",
+    )
+    report.add_argument(
+        "--where",
+        default=None,
+        metavar="K=V[,K=V...]",
+        help="select the newest stored run matching every condition "
+        "(scoped to REF when REF is an experiment name)",
     )
     report.add_argument(
         "--compare",
@@ -210,6 +257,47 @@ def build_run_parser(spec: ExperimentSpec) -> argparse.ArgumentParser:
         action="store_true",
         help="after the run, diff it against the previous stored run",
     )
+    plane = parser.add_argument_group(
+        "execution plane",
+        "how the sweep's (point × seed) cells execute; none of these can "
+        "change a result — only whether/where/when each cell runs",
+    )
+    plane.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="auto",
+        help="cell executor: inline (serial, bit-exact reference), pool "
+        "(process pool with warm workers), or auto (by worker count; default)",
+    )
+    plane.add_argument(
+        "--cells",
+        default=None,
+        metavar="DIR",
+        help="cell checkpoint store: completed cells are persisted here the "
+        "moment they finish, and already-completed cells are loaded instead "
+        "of re-executed",
+    )
+    plane.add_argument(
+        "--resume",
+        action="store_true",
+        help="checkpoint into (and resume from) the default cell store, "
+        "<results-dir>/.cells/<experiment> — or --cells DIR when given",
+    )
+    plane.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N not-yet-checkpointed cells, then exit with "
+        f"code {EXIT_INCOMPLETE}; combine with --resume to time-box long sweeps",
+    )
+    plane.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent directory for network snapshots (drivers default to "
+        "a temporary one); lets repeated/resumed runs reuse built networks",
+    )
     return parser
 
 
@@ -244,6 +332,46 @@ def parse_sweep_axes(
             raise SystemExit(f"--sweep {entry!r} supplies no values")
         axes.append((field, values))
     return axes
+
+
+def _cell_store(spec: ExperimentSpec, args: argparse.Namespace) -> Optional[CellStore]:
+    """The checkpoint store selected by ``--cells`` / ``--resume`` (or None).
+
+    ``--resume`` without an explicit directory checkpoints under the result
+    store root (``<results-dir>/.cells/<experiment>``), so the plain
+    ``repro run X --resume`` → interrupt → ``repro run X --resume`` loop
+    needs no bookkeeping from the user.
+    """
+    if args.cells:
+        return CellStore(args.cells)
+    if args.resume:
+        return CellStore(ResultStore(args.results_dir).root / ".cells" / spec.name)
+    return None
+
+
+def _build_plan(spec: ExperimentSpec, args: argparse.Namespace, **overrides: Any) -> ExecutionPlan:
+    """One invocation's :class:`ExecutionPlan` from the shared CLI flags."""
+    plan_kwargs: dict[str, Any] = {
+        "backend": args.backend,
+        "store": _cell_store(spec, args),
+        "max_cells": args.max_cells,
+        "snapshot_dir": args.snapshot_dir,
+    }
+    plan_kwargs.update(overrides)
+    return ExecutionPlan(**plan_kwargs)
+
+
+def _report_incomplete(
+    spec: ExperimentSpec, plan: ExecutionPlan, exc: GridIncomplete
+) -> int:
+    print(str(exc), file=sys.stderr)
+    if plan.store is not None:
+        print(
+            f"resume with: {PROG} run {spec.name} <same flags> "
+            f"--cells {plan.store.root}",
+            file=sys.stderr,
+        )
+    return EXIT_INCOMPLETE
 
 
 def _execute_run(spec: ExperimentSpec, args: argparse.Namespace) -> int:
@@ -288,7 +416,14 @@ def _execute_run(spec: ExperimentSpec, args: argparse.Namespace) -> int:
         if point_label:
             print(f"### sweep point: {point_label}")
         previous = store.latest(spec.name) if args.diff_latest else None
-        result = run_experiment(spec.name, config, options)
+        # A fresh plan per sweep point: progress counters and the global cell
+        # index are per-invocation (the cell *store* is shared — content-
+        # derived keys keep different points' cells apart).
+        plan = _build_plan(spec, args)
+        try:
+            result = run_experiment(spec.name, config, options, plan=plan)
+        except GridIncomplete as exc:
+            return _report_incomplete(spec, plan, exc)
         print(result.render())
         candidate_label = "(unsaved run)"
         if not args.no_save:
@@ -335,12 +470,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.results_dir)
     try:
         if args.compare:
-            baseline, candidate = args.compare
+            baseline = resolve_run_selector(store, args.compare[0])
+            candidate = resolve_run_selector(store, args.compare[1])
             print(report_mod.render_comparison(store, baseline, candidate), end="")
             return 0
+        ref = args.ref
+        if args.where:
+            experiment = ref if ref not in (None, "latest") else None
+            matches = store.query(parse_where(args.where), experiment=experiment)
+            if not matches:
+                scoped = f" of {experiment!r}" if experiment else ""
+                raise FileNotFoundError(
+                    f"no stored run{scoped} matches --where {args.where!r}"
+                )
+            ref = matches[-1]
+        elif ref is not None:
+            ref = resolve_run_selector(store, ref)
         artifacts = report_mod.write_report(
             store,
-            args.ref,
+            ref,
             out_dir=args.out,
             formats=tuple(args.formats),
             render_figures=not args.no_figures,
@@ -358,27 +506,189 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------- compare
-def _cmd_compare(runs: list[str], results_dir: Optional[str]) -> int:
-    store = ResultStore(results_dir)
-    if len(runs) == 1:
-        ids = store.run_ids(runs[0])
-        if len(ids) < 2:
-            print(
-                f"need at least two stored runs of {runs[0]!r} to compare "
-                f"(found {len(ids)})",
-                file=sys.stderr,
-            )
-            return 2
-        baseline_id, candidate_id = ids[-2], ids[-1]
-    else:
-        baseline_id, candidate_id = runs[0], runs[1]
+def _cmd_compare(args: argparse.Namespace) -> int:
+    runs: list[str] = args.runs
+    store = ResultStore(args.results_dir)
     try:
+        if len(runs) == 1:
+            # One experiment name: diff its two newest stored runs, optionally
+            # restricted by `--where` parameter conditions (sqlite index).
+            if args.where:
+                ids = store.query(parse_where(args.where), experiment=runs[0])
+            else:
+                ids = store.run_ids(runs[0])
+            if len(ids) < 2:
+                conditions = f" matching --where {args.where!r}" if args.where else ""
+                print(
+                    f"need at least two stored runs of {runs[0]!r}{conditions} "
+                    f"to compare (found {len(ids)})",
+                    file=sys.stderr,
+                )
+                return 2
+            baseline_id, candidate_id = ids[-2], ids[-1]
+        else:
+            baseline_id = resolve_run_selector(store, runs[0])
+            candidate_id = resolve_run_selector(store, runs[1])
         diff = store.diff(baseline_id, candidate_id)
     except (FileNotFoundError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     print(diff.render())
     return 0 if diff.identical else 1
+
+
+# ------------------------------------------------------------------- shard
+_SHARD_USAGE = f"""usage: {PROG} shard run <name> --shard I/N --cells DIR [run flags]
+       {PROG} shard merge <name> CELLS_DIR [CELLS_DIR...] [run flags]
+
+`shard run` executes the deterministic slice of <name>'s sweep cells whose
+global submission index is congruent to I (mod N), checkpointing each
+completed cell under --cells.  `shard merge` re-drives the experiment with
+execution disabled, serving every cell from the given stores; because cells
+are merged in submission order regardless of where they ran, the resulting
+envelope is byte-identical to a single-machine run (compare canonical
+fingerprints, which mask wall-clock provenance).  All shard invocations must
+use the same experiment flags; `--shard I/N` is 0-based."""
+
+
+def _dispatch_shard(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_SHARD_USAGE)
+        return 0 if argv else 2
+    mode, rest = argv[0], argv[1:]
+    if mode not in ("run", "merge"):
+        print(f"unknown shard mode {mode!r}; expected run or merge", file=sys.stderr)
+        return 2
+    if not rest or rest[0] in ("-h", "--help"):
+        print(_SHARD_USAGE)
+        return 0 if rest else 2
+    try:
+        spec = get_experiment(rest[0])
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if mode == "run":
+        return _shard_run(spec, rest[1:])
+    return _shard_merge(spec, rest[1:])
+
+
+def _parse_shard_spec(text: str) -> tuple[int, int]:
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(f"--shard expects I/N (e.g. 0/4), got {text!r}")
+
+
+def _spec_options(spec: ExperimentSpec, args: argparse.Namespace) -> dict[str, Any]:
+    return {
+        option.dest: getattr(args, option.dest)
+        for option in spec.options
+        if getattr(args, option.dest) is not None
+    }
+
+
+def _shard_run(spec: ExperimentSpec, argv: list[str]) -> int:
+    parser = build_run_parser(spec)
+    parser.prog = f"{PROG} shard run {spec.name}"
+    parser.add_argument(
+        "--shard",
+        required=True,
+        metavar="I/N",
+        help="execute cells with global submission index ≡ I (mod N); 0-based",
+    )
+    args = parser.parse_args(argv)
+    if args.sweep:
+        print(
+            "shard run does not compose with --sweep; shard each sweep point "
+            "separately",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.cells:
+        print(
+            "shard run requires --cells DIR (the slice's checkpoint store)",
+            file=sys.stderr,
+        )
+        return 2
+    shard_index, shard_count = _parse_shard_spec(args.shard)
+    config = ExperimentConfig.from_args(args)
+    options = _spec_options(spec, args)
+    store = CellStore(args.cells)
+    plan = _build_plan(
+        spec, args, store=store, shard_index=shard_index, shard_count=shard_count
+    )
+    result = None
+    try:
+        result = run_experiment(spec.name, config, options, plan=plan)
+    except GridIncomplete:
+        # The expected outcome: this invocation produced only its slice.
+        pass
+    progress = plan.progress()
+    store.write_manifest(
+        {
+            "experiment": spec.name,
+            "shard_index": shard_index,
+            "shard_count": shard_count,
+            "config": json_safe(config),
+            "options": json_safe(options),
+            "progress": progress,
+        }
+    )
+    print(
+        f"shard {shard_index}/{shard_count} of {spec.name}: "
+        f"{progress['cells_executed']} cell(s) executed, "
+        f"{progress['cells_cached']} loaded from checkpoints, "
+        f"{progress['cells_missing']} left to other shards "
+        f"(store: {store.root})"
+    )
+    if result is not None:
+        # The slice covered the whole grid (N=1, or every other cell was
+        # already checkpointed): behave like a plain run.
+        print()
+        print(result.render())
+        if not args.no_save:
+            run_dir = ResultStore(args.results_dir).save(result)
+            print(f"saved: {run_dir}")
+    return 0
+
+
+def _shard_merge(spec: ExperimentSpec, argv: list[str]) -> int:
+    parser = build_run_parser(spec)
+    parser.prog = f"{PROG} shard merge {spec.name}"
+    parser.add_argument(
+        "cell_dirs",
+        nargs="+",
+        metavar="CELLS_DIR",
+        help="per-shard cell stores; all are read, the first is primary",
+    )
+    args = parser.parse_args(argv)
+    if args.sweep:
+        print("shard merge does not compose with --sweep", file=sys.stderr)
+        return 2
+    config = ExperimentConfig.from_args(args)
+    options = _spec_options(spec, args)
+    store = CellStore(args.cell_dirs[0], extra_roots=args.cell_dirs[1:])
+    plan = _build_plan(spec, args, store=store, execute=False)
+    try:
+        result = run_experiment(spec.name, config, options, plan=plan)
+    except GridIncomplete as exc:
+        print(str(exc), file=sys.stderr)
+        print(
+            f"shard merge is strict: {len(plan.missing_cell_keys)} cell(s) "
+            "have no checkpointed result in the given stores — run the "
+            "missing shards with the same experiment flags and merge again",
+            file=sys.stderr,
+        )
+        return EXIT_INCOMPLETE
+    print(result.render())
+    if not args.no_save:
+        run_dir = ResultStore(args.results_dir).save(result)
+        print()
+        print(f"saved: {run_dir}")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via `python -m`

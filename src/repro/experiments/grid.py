@@ -29,6 +29,17 @@ see ``SampleLog.add_per_seed``), so the ``samples`` field persisted into the
 figure ``repro report`` later regenerates from it — is byte-identical for
 every worker count.
 
+Since the execution-plane refactor the fan-out itself is delegated to an
+:class:`~repro.experiments.backends.ExecutionPlan`: the plan chooses the
+executor backend (inline / process pool with warm workers), consults the
+checkpoint store for already-completed cells, applies the shard slice and
+the cell budget, and persists each freshly computed cell the moment the
+streaming regroup emits it.  ``run_experiment`` installs the plan with
+:func:`~repro.experiments.backends.use_plan`, so every registered
+experiment inherits backends, checkpoint/resume and sharding for free; a
+driver called directly (tests, examples) gets an ephemeral default plan
+equivalent to the old behaviour.
+
 Job specs must be picklable (frozen dataclasses of plain values) and
 ``job_fn`` must be a module-level callable — the same constraints
 :class:`~repro.experiments.parallel.ParallelRunner` imposes.
@@ -36,10 +47,10 @@ Job specs must be picklable (frozen dataclasses of plain values) and
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Optional, Sequence, TypeVar
 
+from repro.experiments.backends import ExecutionPlan, current_plan
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.parallel import ParallelRunner
 
 PointT = TypeVar("PointT")
 JobT = TypeVar("JobT")
@@ -51,6 +62,8 @@ def run_seed_grid(
     make_job: Callable[[PointT, int], JobT],
     job_fn: Callable[[JobT], ResultT],
     config: ExperimentConfig,
+    *,
+    plan: Optional[ExecutionPlan] = None,
 ) -> list[tuple[PointT, list[ResultT]]]:
     """Run ``job_fn`` over the (point, seed) grid and regroup per point.
 
@@ -59,15 +72,25 @@ def run_seed_grid(
         make_job: builds the picklable job spec for one (point, seed) cell.
         job_fn: module-level job body, executed possibly in a worker process.
         config: supplies the seeds and the worker count.
+        plan: execution plan; defaults to the plan installed by
+            :func:`~repro.experiments.backends.use_plan` (how
+            ``run_experiment`` threads backends/checkpoints through without
+            changing driver signatures), and otherwise to an ephemeral
+            default plan driven by ``config.workers``.
 
     Returns:
         One ``(point, seed_results)`` pair per sweep point, in sweep order,
         with ``seed_results`` in ``config.seeds`` order — the same sequence a
-        serial ``for point: for seed:`` loop would produce.
+        serial ``for point: for seed:`` loop would produce.  Cells the plan
+        did not produce (shard slice, cell budget) come back as the
+        :data:`~repro.experiments.backends.MISSING` placeholder.
     """
     points = list(points)
     jobs = [make_job(point, seed) for point in points for seed in config.seeds]
-    results = ParallelRunner.from_config(config).map_jobs(job_fn, jobs)
+    active = plan if plan is not None else current_plan()
+    if active is None:
+        active = ExecutionPlan()
+    results = active.run_cells(job_fn, jobs, config)
     per_point = len(config.seeds)
     return [
         (point, results[index * per_point : (index + 1) * per_point])

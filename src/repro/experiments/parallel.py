@@ -30,13 +30,14 @@ through a process pool under every start method.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, TypeVar
 
-import multiprocessing
-
+from repro.experiments.backends import (  # noqa: F401 - resolve_workers re-exported
+    InlineBackend,
+    PoolBackend,
+    resolve_workers,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.workloads.scenarios import ChurnSchedule
 
@@ -44,34 +45,17 @@ JobT = TypeVar("JobT")
 ResultT = TypeVar("ResultT")
 
 
-def resolve_workers(workers: int, job_count: int) -> int:
-    """Effective process count for ``workers`` over ``job_count`` jobs.
-
-    0 means "one per CPU"; the result is never larger than the number of jobs
-    (extra processes would only add fork overhead) and never smaller than 1.
-    """
-    if workers < 0:
-        raise ValueError("workers cannot be negative")
-    if workers == 0:
-        workers = os.cpu_count() or 1
-    return max(1, min(workers, job_count))
-
-
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """The multiprocessing context used for worker pools.
-
-    ``fork`` is preferred where available: workers inherit the imported
-    package (no re-import per process) and start in milliseconds.  Platforms
-    without ``fork`` fall back to the default start method.
-    """
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context()
-
-
 class ParallelRunner:
     """Fans picklable job specs out over a process pool, preserving order.
+
+    Since the execution-plane refactor this is a thin facade over the
+    executor backends (:mod:`repro.experiments.backends`): the serial path
+    is :class:`~repro.experiments.backends.InlineBackend` and the
+    multi-process path is :class:`~repro.experiments.backends.PoolBackend`,
+    which chunks adaptively and streams results back via ``as_completed``
+    with an ordered regroup — submission-order return is preserved, but a
+    caller's ``on_result`` callback sees each completed prefix immediately
+    instead of waiting for the whole map.
 
     Args:
         workers: worker processes; 0 means one per CPU, and 1 (the default)
@@ -92,20 +76,26 @@ class ParallelRunner:
         self,
         job_fn: Callable[[JobT], ResultT],
         jobs: Sequence[JobT],
+        *,
+        on_result: Optional[Callable[[int, ResultT], None]] = None,
     ) -> list[ResultT]:
         """Run ``job_fn`` over every job, returning results in job order.
 
         ``job_fn`` must be a module-level function and every job spec must be
-        picklable when more than one worker is used.
+        picklable when more than one worker is used.  ``on_result(index,
+        result)`` is invoked in submission order as results become available
+        (streaming), letting driver-side merges and checkpoint writes
+        overlap slow straggler cells.
         """
         jobs = list(jobs)
         if not jobs:
             return []
         workers = resolve_workers(self.workers, len(jobs))
         if workers <= 1:
-            return [job_fn(job) for job in jobs]
-        with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
-            return list(pool.map(job_fn, jobs, chunksize=1))
+            backend = InlineBackend()
+        else:
+            backend = PoolBackend(workers)
+        return backend.run(job_fn, jobs, on_result)
 
 
 # --------------------------------------------------------------------- jobs

@@ -36,10 +36,12 @@ deliberately *not* diffed — the scalar summaries derived from them are).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import math
 import os
 import re
+import sqlite3
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -180,6 +182,35 @@ class ExperimentResult:
         """Deserialise an envelope from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
 
+    # ------------------------------------------------------ canonical form
+    def canonical_dict(self) -> dict[str, Any]:
+        """The envelope with every execution-plane/wall-clock field masked.
+
+        Two runs of the same experiment with the same configuration produce
+        *identical* canonical dicts regardless of when they ran, how many
+        workers they used, whether they were interrupted and resumed, or how
+        many shards they were split across — the determinism contract, made
+        assertable.  Masked fields: ``created_at``, ``extras.duration_s``
+        and ``config.workers``.
+        """
+        data = self.to_dict()
+        data["created_at"] = 0.0
+        extras = data.get("extras")
+        if isinstance(extras, dict):
+            extras.pop("duration_s", None)
+        config = data.get("config")
+        if isinstance(config, dict):
+            config.pop("workers", None)
+        return data
+
+    def canonical_json(self) -> str:
+        """Byte-stable JSON of :meth:`canonical_dict`."""
+        return json.dumps(self.canonical_dict(), indent=2, sort_keys=True)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over :meth:`canonical_json` — the run-equivalence digest."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
     def diff(self, other: "ExperimentResult") -> "ResultDiff":
         """Compare this run (baseline) against ``other`` (candidate)."""
         return diff_results(self, other)
@@ -304,19 +335,35 @@ class ResultStore:
 
     # ----------------------------------------------------------------- write
     def save(self, result: ExperimentResult) -> Path:
-        """Persist one run; returns the created run directory."""
+        """Persist one run; returns the created run directory.
+
+        The run directory is claimed with an atomic ``mkdir``: two writers
+        that compute the same ``<timestamp>-<seq>`` id (concurrent shard
+        runners, parallel CI jobs) cannot both succeed on the same path —
+        the loser's ``FileExistsError`` simply advances it to the next
+        sequence number.  An exists-then-mkdir check would race between the
+        check and the create.
+        """
         stamp = time.strftime("%Y%m%dT%H%M%S", time.localtime(result.created_at))
         experiment_dir = self.root / result.experiment
         experiment_dir.mkdir(parents=True, exist_ok=True)
         for sequence in range(1, 1000):
             run_dir = experiment_dir / f"{stamp}-{sequence:03d}"
-            if not run_dir.exists():
-                break
+            try:
+                run_dir.mkdir()
+            except FileExistsError:
+                continue
+            break
         else:  # pragma: no cover - 999 runs in one second
             raise RuntimeError(f"no free run directory under {experiment_dir}")
-        run_dir.mkdir()
         (run_dir / self.RESULT_FILE).write_text(result.to_json() + "\n")
         (run_dir / self.REPORT_FILE).write_text(result.render() + "\n")
+        # Best-effort provenance indexing: a locked or unwritable index never
+        # fails the save — `query` lazily re-syncs from the run directories.
+        try:
+            self.index().add(f"{result.experiment}/{run_dir.name}", result)
+        except (sqlite3.Error, OSError):  # pragma: no cover - degraded disk
+            pass
         return run_dir
 
     # ------------------------------------------------------------------ read
@@ -386,3 +433,235 @@ class ResultStore:
         diff.baseline = str(baseline_id)
         diff.candidate = str(candidate_id)
         return diff
+
+    # ----------------------------------------------------------------- query
+    def index(self) -> "ResultIndex":
+        """The sqlite provenance index at the store root."""
+        return ResultIndex(self.root)
+
+    def query(
+        self,
+        where: Mapping[str, str],
+        experiment: Optional[str] = None,
+    ) -> list[str]:
+        """Run ids matching every ``key=value`` condition, oldest first.
+
+        Conditions select on config fields, experiment options, summary
+        labels and seeds as indexed by :class:`ResultIndex` — e.g.
+        ``{"nodes": "10000", "policy": "bcbpt"}``.  The index is re-synced
+        against the run directories first, so runs written by other
+        processes (shard runners, older checkouts without the index) are
+        always visible.
+        """
+        index = self.index()
+        index.refresh(self)
+        return index.query(where, experiment=experiment)
+
+
+# ------------------------------------------------------------------ queries
+#: Friendly aliases accepted in `--where` conditions alongside the exact
+#: config-field / option / index keys.
+WHERE_ALIASES = {
+    "nodes": "node_count",
+    "policy": "label",
+    "protocol": "label",
+    "threshold_s": "latency_threshold_s",
+}
+
+
+def parse_where(text: str) -> dict[str, str]:
+    """Parse ``"nodes=10000,policy=bcbpt"`` into a condition mapping."""
+    conditions: dict[str, str] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"--where expects KEY=VALUE[,KEY=VALUE...] — got {part!r}")
+        key, _, value = part.partition("=")
+        key, value = key.strip(), value.strip()
+        if not key or not value:
+            raise ValueError(f"--where condition {part!r} is missing a key or value")
+        conditions[key] = value
+    if not conditions:
+        raise ValueError("--where supplies no conditions")
+    return conditions
+
+
+def resolve_run_selector(store: ResultStore, ref: str) -> str:
+    """Resolve a run reference that may select by parameters.
+
+    ``"fig3?nodes=200,policy=bcbpt"`` (or bare ``"?nodes=200"`` across all
+    experiments) resolves — via the sqlite index — to the **newest** stored
+    run matching every condition.  Anything without a ``?`` passes through
+    unchanged (plain run ids, paths and experiment names keep working).
+    """
+    if "?" not in ref:
+        return ref
+    experiment, _, expr = ref.partition("?")
+    matches = store.query(parse_where(expr), experiment=experiment or None)
+    if not matches:
+        raise FileNotFoundError(f"no stored run matches {ref!r}")
+    return matches[-1]
+
+
+class ResultIndex:
+    """A sqlite index over stored runs' configuration provenance.
+
+    One database per store root (``results/index.sqlite``) with two tables:
+    ``runs`` (one row per stored run) and ``params`` (one row per indexed
+    key/value, several rows per multi-valued key).  Indexed per run:
+
+    * every scalar ``config`` field (``node_count``, ``latency_threshold_s``,
+      ...) — sequence fields additionally index each element;
+    * every resolved experiment option (``relays``, ``rates``, ...);
+    * each summary label under ``label`` (so ``policy=bcbpt`` finds every
+      run that compared BCBPT, whatever the experiment);
+    * each master seed under ``seed``;
+    * the experiment name under ``experiment``.
+
+    Numeric values also carry a REAL column so ``nodes=10000`` matches
+    however the number was spelled.  All writes are short transactions with
+    a generous busy timeout, so concurrent shard runners indexing into the
+    same store serialise instead of corrupting.
+    """
+
+    DB_FILE = "index.sqlite"
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS runs (
+            run_id TEXT PRIMARY KEY,
+            experiment TEXT NOT NULL,
+            created_at REAL
+        );
+        CREATE TABLE IF NOT EXISTS params (
+            run_id TEXT NOT NULL,
+            key TEXT NOT NULL,
+            value TEXT NOT NULL,
+            number REAL
+        );
+        CREATE INDEX IF NOT EXISTS params_by_key_value ON params (key, value);
+        CREATE INDEX IF NOT EXISTS params_by_run ON params (run_id);
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.path = self.root / self.DB_FILE
+
+    def _connect(self) -> sqlite3.Connection:
+        self.root.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(self.path, timeout=10.0)
+        connection.executescript(self._SCHEMA)
+        return connection
+
+    # ----------------------------------------------------------------- write
+    def add(self, run_id: str, result: ExperimentResult) -> None:
+        """(Re-)index one stored run."""
+        rows = [
+            (run_id, key, value, number)
+            for key, value, number in _provenance_rows(result)
+        ]
+        with self._connect() as connection:
+            connection.execute("DELETE FROM params WHERE run_id = ?", (run_id,))
+            connection.execute(
+                "INSERT OR REPLACE INTO runs (run_id, experiment, created_at) "
+                "VALUES (?, ?, ?)",
+                (run_id, result.experiment, result.created_at),
+            )
+            connection.executemany(
+                "INSERT INTO params (run_id, key, value, number) VALUES (?, ?, ?, ?)",
+                rows,
+            )
+
+    def remove(self, run_id: str) -> None:
+        """Drop one run from the index."""
+        with self._connect() as connection:
+            connection.execute("DELETE FROM params WHERE run_id = ?", (run_id,))
+            connection.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+
+    def refresh(self, store: ResultStore) -> None:
+        """Sync the index with the run directories on disk.
+
+        Runs saved by other processes (or before the index existed) are
+        indexed from their envelopes; rows for deleted run directories are
+        dropped.  Append-mostly stores make this a cheap set difference.
+        """
+        on_disk = set(store.run_ids())
+        with self._connect() as connection:
+            indexed = {row[0] for row in connection.execute("SELECT run_id FROM runs")}
+        for run_id in sorted(on_disk - indexed):
+            try:
+                self.add(run_id, store.load(run_id))
+            except (OSError, ValueError, KeyError):  # pragma: no cover - torn run dir
+                continue
+        for run_id in sorted(indexed - on_disk):
+            self.remove(run_id)
+
+    # ------------------------------------------------------------------ read
+    def query(
+        self,
+        where: Mapping[str, str],
+        experiment: Optional[str] = None,
+    ) -> list[str]:
+        """Run ids matching every condition (AND), oldest first."""
+        sql = "SELECT run_id FROM runs"
+        clauses: list[str] = []
+        arguments: list[Any] = []
+        if experiment:
+            clauses.append("experiment = ?")
+            arguments.append(experiment)
+        for raw_key, raw_value in where.items():
+            key = WHERE_ALIASES.get(raw_key, raw_key)
+            value = str(raw_value)
+            try:
+                number: Optional[float] = float(value)
+            except ValueError:
+                number = None
+            clauses.append(
+                "run_id IN (SELECT run_id FROM params WHERE key = ? "
+                "AND (value = ? OR (number IS NOT NULL AND number = ?)))"
+            )
+            arguments.extend([key, value, number])
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY run_id"
+        with self._connect() as connection:
+            return [row[0] for row in connection.execute(sql, arguments)]
+
+
+def _provenance_rows(result: ExperimentResult) -> list[tuple[str, str, Optional[float]]]:
+    """Flatten one envelope into (key, value, numeric value) index rows."""
+    rows: list[tuple[str, str, Optional[float]]] = []
+
+    def emit(key: str, value: Any) -> None:
+        if isinstance(value, (list, tuple)):
+            for item in value:
+                emit(key, item)
+            rows.append((key, ",".join(str(item) for item in value), None))
+            return
+        if isinstance(value, Mapping):
+            rows.append((key, json.dumps(json_safe(value), sort_keys=True), None))
+            return
+        number: Optional[float] = None
+        if isinstance(value, bool):
+            number = float(value)
+        elif isinstance(value, (int, float)) and not (
+            isinstance(value, float) and math.isnan(value)
+        ):
+            number = float(value)
+        rows.append((key, str(value), number))
+
+    emit("experiment", result.experiment)
+    for key, value in json_safe(result.config).items():
+        emit(key, value)
+    for key, value in json_safe(result.options).items():
+        emit(key, value)
+    for seed in result.seeds:
+        emit("seed", seed)
+    for label in result.summaries:
+        emit("label", label)
+        # Threshold-suffixed labels ("bcbpt@50ms") also index their base
+        # policy so `policy=bcbpt` finds them.
+        if "@" in label:
+            emit("label", label.split("@", 1)[0])
+    return rows

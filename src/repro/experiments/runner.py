@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.analysis.samples import SampleLog
+from repro.experiments.backends import current_plan
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.grid import run_seed_grid
 from repro.experiments.parallel import PropagationJob, run_propagation_job
@@ -211,16 +212,25 @@ def run_protocol_comparison(
             snapshot instead of rebuilding it.  Snapshots are stream-exact, so
             results are byte-identical with or without this; it trades disk
             for the per-job network build time the grid would otherwise
-            repeat ``len(protocols)`` times per seed.
+            repeat ``len(protocols)`` times per seed.  Defaults to the
+            active :class:`~repro.experiments.backends.ExecutionPlan`'s
+            ``snapshot_dir`` (the CLI's ``--snapshot-dir``), which also
+            feeds the pool backend's warm per-worker snapshot caches.
 
     Returns:
         Label -> pooled :class:`PropagationResult` across all seeds.
     """
     resolved = {label: _parse_label(label, config, thresholds) for label in protocols}
 
+    active = current_plan()
+    if snapshot_dir is None and active is not None:
+        snapshot_dir = active.snapshot_dir
+
     snapshot_paths: dict[int, str] = {}
-    if snapshot_dir is not None:
+    if snapshot_dir is not None and (active is None or active.execute):
         # Pre-build serially in the driver process: workers only ever read.
+        # Skipped under `repro shard merge` (execute=False): no cell body
+        # runs there, and cell keys never include snapshot paths.
         for seed in config.seeds:
             parameters = NetworkParameters(node_count=config.node_count, seed=seed)
             snapshot_paths[seed] = str(ensure_network_snapshot(parameters, snapshot_dir))

@@ -28,12 +28,14 @@ Run from the command line::
 
 from __future__ import annotations
 
+import contextlib
 import tempfile
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.analysis.samples import SampleLog
 from repro.experiments.api import ExperimentOption, deprecated_main, experiment
+from repro.experiments.backends import current_plan
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.grid import run_seed_grid
 from repro.experiments.parallel import ScaleJob, ScaleJobResult, run_scale_job
@@ -297,17 +299,31 @@ def run_scale(
 
     points = [(rung, protocol) for rung in ladder for protocol in protocols]
 
-    with tempfile.TemporaryDirectory(prefix="repro-scale-snapshots-") as snapshot_dir:
+    active = current_plan()
+    plan_snapshot_dir = active.snapshot_dir if active is not None else None
+
+    with contextlib.ExitStack() as stack:
+        if plan_snapshot_dir is not None:
+            # A persistent directory (the CLI's --snapshot-dir) lets repeated
+            # runs — and resumed/sharded runs — reuse the same snapshot files.
+            snapshot_dir = str(plan_snapshot_dir)
+        else:
+            snapshot_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-scale-snapshots-")
+            )
         # Build each (node count, seed) network exactly once, serially in the
         # driver: every (protocol) cell at that rung loads the same snapshot,
-        # and workers never race on the files.
+        # and workers never race on the files.  Skipped under `repro shard
+        # merge` (execute=False): no cell body runs there, and cell keys
+        # never include snapshot paths.
         snapshot_paths: dict[tuple[int, int], str] = {}
-        for rung in ladder:
-            for seed in cfg.seeds:
-                parameters = scale_parameters(rung, seed, depth)
-                snapshot_paths[(rung, seed)] = str(
-                    ensure_network_snapshot(parameters, snapshot_dir)
-                )
+        if active is None or active.execute:
+            for rung in ladder:
+                for seed in cfg.seeds:
+                    parameters = scale_parameters(rung, seed, depth)
+                    snapshot_paths[(rung, seed)] = str(
+                        ensure_network_snapshot(parameters, snapshot_dir)
+                    )
 
         def make_job(point: tuple[int, str], seed: int) -> ScaleJob:
             rung, protocol = point
@@ -319,7 +335,7 @@ def run_scale(
                 prune_depth=depth,
                 cell_runs=cell_runs,
                 profile_memory=profile_memory,
-                snapshot_path=snapshot_paths[(rung, seed)],
+                snapshot_path=snapshot_paths.get((rung, seed)),
                 config=cfg,
             )
 

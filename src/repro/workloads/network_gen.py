@@ -227,12 +227,80 @@ def load_network(path: Union[str, Path]) -> SimulatedNetwork:
     at their exact saved bit positions, so running a policy/campaign on the
     loaded network is byte-identical to running it on the network the snapshot
     was taken from.
+
+    Inside a warm-worker fork child (see
+    :func:`serve_cached_snapshots`) the per-process cache is consulted
+    first: the cached object was unpickled from the same bytes a cold load
+    would read, and the child's copy-on-write memory makes it private, so
+    the result is bit-identical either way.
     """
+    cached = _cached_snapshot(path)
+    if cached is not None:
+        return cached
     with open(path, "rb") as handle:
         simulated = pickle.load(handle)
     if not isinstance(simulated, SimulatedNetwork):
         raise TypeError(f"{path} is not a SimulatedNetwork snapshot: {type(simulated)!r}")
     return simulated
+
+
+# ------------------------------------------------------- warm snapshot cache
+# Per-process warm cache for the pool backend's warm workers: a worker
+# unpickles each snapshot it encounters once (LRU-bounded) and runs every
+# snapshot-backed cell in a forked child, whose copy-on-write view of the
+# cached network is private.  Serving is gated behind an explicit flag that
+# only those single-cell children enable — handing the *same* object to two
+# cells in one process would let mutations leak between them.
+_SNAPSHOT_CACHE: "dict[str, SimulatedNetwork]" = {}
+_SNAPSHOT_CACHE_LIMIT = 0
+_SERVE_CACHED_SNAPSHOTS = False
+
+
+def configure_snapshot_cache(limit: int) -> None:
+    """Enable this process's warm snapshot cache with an LRU entry bound."""
+    global _SNAPSHOT_CACHE_LIMIT
+    _SNAPSHOT_CACHE_LIMIT = max(0, limit)
+    if _SNAPSHOT_CACHE_LIMIT == 0:
+        _SNAPSHOT_CACHE.clear()
+
+
+def warm_snapshot(path: Union[str, Path]) -> bool:
+    """Unpickle ``path`` into this process's warm cache (at most once).
+
+    Returns True when the snapshot is cached afterwards; False when the
+    cache is disabled (limit 0) or the file cannot be cached.
+    """
+    if _SNAPSHOT_CACHE_LIMIT <= 0:
+        return False
+    key = str(Path(path))
+    if key in _SNAPSHOT_CACHE:
+        # Refresh LRU recency (dicts preserve insertion order).
+        _SNAPSHOT_CACHE[key] = _SNAPSHOT_CACHE.pop(key)
+        return True
+    with open(key, "rb") as handle:
+        simulated = pickle.load(handle)
+    if not isinstance(simulated, SimulatedNetwork):
+        raise TypeError(f"{key} is not a SimulatedNetwork snapshot: {type(simulated)!r}")
+    _SNAPSHOT_CACHE[key] = simulated
+    while len(_SNAPSHOT_CACHE) > _SNAPSHOT_CACHE_LIMIT:
+        _SNAPSHOT_CACHE.pop(next(iter(_SNAPSHOT_CACHE)))
+    return True
+
+
+def serve_cached_snapshots(enabled: bool) -> None:
+    """Let :func:`load_network` return cached objects directly.
+
+    Only safe in a process that loads **at most one** network and never
+    shares it — in practice the pool backend's forked single-cell children.
+    """
+    global _SERVE_CACHED_SNAPSHOTS
+    _SERVE_CACHED_SNAPSHOTS = enabled
+
+
+def _cached_snapshot(path: Union[str, Path]) -> Optional[SimulatedNetwork]:
+    if not _SERVE_CACHED_SNAPSHOTS:
+        return None
+    return _SNAPSHOT_CACHE.get(str(Path(path)))
 
 
 def snapshot_filename(parameters: NetworkParameters) -> str:
