@@ -39,7 +39,7 @@ from repro.experiments.backends import (  # noqa: F401 - resolve_workers re-expo
     resolve_workers,
 )
 from repro.experiments.config import ExperimentConfig
-from repro.workloads.scenarios import ChurnSchedule
+from repro.workloads.scenarios import AttackSpec, ChurnSchedule
 
 JobT = TypeVar("JobT")
 ResultT = TypeVar("ResultT")
@@ -564,6 +564,69 @@ def run_partition_job(job: PartitionJob) -> PartitionJobResult:
     from repro.experiments.attacks import run_partition_seed
 
     return run_partition_seed(job)
+
+
+@dataclass(frozen=True)
+class AttackJob:
+    """One (attack, protocol, seed) dynamic-adversary campaign.
+
+    Attributes:
+        attack: attack kind (one of
+            :data:`repro.workloads.scenarios.ATTACK_KINDS`; ``"none"`` is the
+            honest baseline cell the degradation metrics divide by).
+        protocol: neighbour-selection policy under test.
+        seed: master seed for the cell's network, adversary and mining
+            streams.
+        spec: the full adversary composition (picklable).
+        blocks: blocks mined (and measured) in the campaign.
+        txs_per_block: fresh transactions injected before each block.
+        block_horizon_s: simulated seconds allowed per block to spread.
+        threshold_s: BCBPT latency threshold ``d_t`` in seconds.
+        config: shared experiment configuration.
+    """
+
+    attack: str
+    protocol: str
+    seed: int
+    spec: AttackSpec
+    blocks: int
+    txs_per_block: int
+    block_horizon_s: float
+    threshold_s: float
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class AttackJobResult:
+    """Per-(attack, protocol, seed) dynamic outcomes merged by the driver.
+
+    Plain values only (tuples, never live distributions; ``None`` — not NaN,
+    which breaks ``==`` across a pickle round trip — for unmeasured revenue),
+    so the pooled payload compares field-by-field across worker counts.
+    """
+
+    attack: str
+    protocol: str
+    seed: int
+    block_delay_samples: tuple[float, ...]
+    blocks_measured: int
+    coverage: float
+    victim_coverage: float
+    byzantine_nodes: tuple[int, ...]
+    messages_suppressed: int
+    attacker_id: int
+    attacker_hashpower: float
+    blocks_withheld: int
+    blocks_released: int
+    races_started: int
+    revenue_share: Optional[float]
+
+
+def run_attack_job(job: AttackJob) -> AttackJobResult:
+    """Execute one dynamic attack cell — the process-pool entry point."""
+    from repro.experiments.attacks import run_attack_seed
+
+    return run_attack_seed(job)
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,10 @@ Implements the pieces of the Bitcoin system the paper's evaluation depends on:
 * :mod:`repro.protocol.discovery` — DNS seeds and ADDR gossip;
 * :mod:`repro.protocol.mining` — simplified proof-of-work block production;
 * :mod:`repro.protocol.doublespend` — the race attacker used by the
-  double-spend experiment.
+  double-spend experiment;
+* :mod:`repro.protocol.adversary` — the adversary plane: byzantine relay
+  behaviours (silent / selective / delay) filtered at the network's send
+  choke point, and Eyal–Sirer selfish-mining block withholding.
 
 Public entry points: :class:`~repro.protocol.node.BitcoinNode` (the peer,
 including its observer hooks ``transaction_listeners`` /
@@ -33,6 +36,13 @@ including its observer hooks ``transaction_listeners`` /
 """
 
 from repro.protocol.block import Block, BlockHeader
+from repro.protocol.adversary import (
+    ByzantineBehavior,
+    DelayByzantine,
+    SelectiveByzantine,
+    SelfishMiner,
+    SilentByzantine,
+)
 from repro.protocol.blockchain import Blockchain
 from repro.protocol.crypto import KeyPair, sha256_hex, sign, verify_signature
 from repro.protocol.discovery import AddressBook, DnsSeedService
@@ -82,9 +92,11 @@ __all__ = [
     "BlockMessage",
     "BlockTxnMessage",
     "Blockchain",
+    "ByzantineBehavior",
     "ClusterMembersMessage",
     "CmpctBlockMessage",
     "CompactBlockRelay",
+    "DelayByzantine",
     "DnsSeedService",
     "FloodRelay",
     "GetAddrMessage",
@@ -105,6 +117,9 @@ __all__ = [
     "RELAY_NAMES",
     "RELAY_STRATEGIES",
     "RelayStrategy",
+    "SelectiveByzantine",
+    "SelfishMiner",
+    "SilentByzantine",
     "Transaction",
     "TransactionValidator",
     "TxInput",

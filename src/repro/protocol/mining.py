@@ -114,6 +114,12 @@ class MiningProcess:
             behaviour.
         on_block_mined: optional callback ``(block, miner_id)`` fired after
             the winning miner accepts its own block (before propagation).
+        on_block_found: optional callback ``(block, miner_id)`` fired the
+            instant the block is assembled, *before* the winner's
+            ``accept_block`` runs — i.e. before any announcement can leave
+            the miner.  This is the selfish-mining hook: a withholding
+            policy registers the hash here so the acceptance-time broadcast
+            is already suppressed.  Honest experiments leave it None.
     """
 
     def __init__(
@@ -127,6 +133,7 @@ class MiningProcess:
         max_block_transactions: int = 2000,
         max_block_bytes: Optional[int] = None,
         on_block_mined: Optional[Callable[[Block, int], None]] = None,
+        on_block_found: Optional[Callable[[Block, int], None]] = None,
     ) -> None:
         if not miners:
             raise ValueError("at least one miner is required")
@@ -149,6 +156,9 @@ class MiningProcess:
         self.max_block_transactions = int(max_block_transactions)
         self.max_block_bytes = max_block_bytes
         self._on_block_mined = on_block_mined
+        #: Pre-acceptance hook (see class docstring); public so the adversary
+        #: plane can install a withholding policy after construction.
+        self.on_block_found = on_block_found
         self.blocks_mined = 0
         #: Blocks whose template hit the byte cap (``max_block_bytes`` only).
         self.full_blocks_mined = 0
@@ -216,6 +226,8 @@ class MiningProcess:
             nonce=self.blocks_mined,
             miner_id=winner_id,
         )
+        if self.on_block_found is not None:
+            self.on_block_found(block, winner_id)
         accepted = miner.accept_block(block, origin_peer=None)
         if not accepted:
             return None

@@ -29,6 +29,7 @@ from repro.protocol.messages import Message
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.protocol.adversary import ByzantineBehavior
     from repro.protocol.node import BitcoinNode
 
 
@@ -56,6 +57,13 @@ class P2PNetwork:
         self.messages_sent: Counter[str] = Counter()
         self.bytes_sent: Counter[str] = Counter()
         self.messages_dropped = 0
+        #: Outbound messages a byzantine behaviour silently swallowed.  Kept
+        #: separate from ``messages_dropped`` (delivery failures): suppressed
+        #: messages were never sent, so they appear in no traffic counter.
+        self.messages_suppressed = 0
+        #: Per-node byzantine behaviours (adversary plane).  Empty on honest
+        #: networks — the hot send path only pays a truthiness check then.
+        self._behaviors: dict[int, "ByzantineBehavior"] = {}
 
     # ----------------------------------------------------------------- nodes
     def register_node(self, node: "BitcoinNode") -> None:
@@ -172,6 +180,34 @@ class P2PNetwork:
         """Current connections of a node."""
         return self.topology.neighbors(node_id)
 
+    # ------------------------------------------------------------- adversary
+    def install_behavior(self, node_id: int, behavior: "ByzantineBehavior") -> None:
+        """Attach a byzantine outbound-message filter to one node.
+
+        Every message the node sends from now on is offered to
+        ``behavior.filter_send`` before any delay is computed or traffic
+        accounted.  One behaviour per node; installing a second replaces
+        nothing and raises instead, so composed attacks are explicit.
+        """
+        if node_id not in self._nodes:
+            raise KeyError(f"unknown node {node_id}")
+        if node_id in self._behaviors:
+            raise ValueError(f"node {node_id} already has a byzantine behavior")
+        self._behaviors[node_id] = behavior
+
+    def remove_behavior(self, node_id: int) -> Optional["ByzantineBehavior"]:
+        """Detach and return a node's byzantine behaviour (None if honest)."""
+        return self._behaviors.pop(node_id, None)
+
+    def behavior_of(self, node_id: int) -> Optional["ByzantineBehavior"]:
+        """The behaviour installed on a node, or None for an honest node."""
+        return self._behaviors.get(node_id)
+
+    @property
+    def byzantine_node_ids(self) -> list[int]:
+        """Ids of nodes with an installed behaviour, in installation order."""
+        return list(self._behaviors)
+
     # -------------------------------------------------------------- messages
     def send(self, sender_id: int, receiver_id: int, message: Message) -> bool:
         """Send a protocol message over an existing connection.
@@ -201,11 +237,28 @@ class P2PNetwork:
     ) -> None:
         """Compute the delay, account the traffic and schedule the delivery.
 
-        Connectivity/online checks are the caller's responsibility.
+        Connectivity/online checks are the caller's responsibility.  This is
+        the single choke point every send funnels through (``send``,
+        ``broadcast``/``multicast`` via ``_fanout``), which is where the
+        adversary plane hooks in: a sender's installed
+        :class:`~repro.protocol.adversary.ByzantineBehavior` may suppress the
+        message (no accounting, no delivery) or stretch its delay.  Batched
+        congestion-jitter factors are drawn by the *caller*, before this
+        filter runs, so byzantine drops never shift an honest stream's draw
+        sequence.
         """
+        extra_delay_s = 0.0
+        if self._behaviors:
+            behavior = self._behaviors.get(sender_id)
+            if behavior is not None:
+                decision = behavior.filter_send(receiver_id, message, self.simulator.now)
+                if decision.drop:
+                    self.messages_suppressed += 1
+                    return
+                extra_delay_s = decision.extra_delay_s
         command = message.command
         size = message_size_bytes(command, message.wire_payload())
-        delay = self.delays.message_delay_s(
+        delay = extra_delay_s + self.delays.message_delay_s(
             sender_id,
             self._positions[sender_id],
             receiver_id,

@@ -320,6 +320,27 @@ class BitcoinNode:
         """Ids of currently connected peers."""
         return self._require_network().neighbors(self.node_id)
 
+    # -------------------------------------------------------------- adversary
+    def install_behavior(self, behavior) -> None:
+        """Make this node byzantine: filter every message it sends.
+
+        Delegates to :meth:`~repro.protocol.network.P2PNetwork
+        .install_behavior` — the filter sits on the network fabric's single
+        send choke point, so it applies under every relay strategy.  See
+        :mod:`repro.protocol.adversary` for the behaviour vocabulary.
+        """
+        self._require_network().install_behavior(self.node_id, behavior)
+
+    @property
+    def behavior(self):
+        """The installed byzantine behaviour, or None for an honest node."""
+        return self._require_network().behavior_of(self.node_id)
+
+    @property
+    def is_byzantine(self) -> bool:
+        """Whether a byzantine behaviour is installed on this node."""
+        return self.behavior is not None
+
     # ----------------------------------------------------- connection events
     def on_connected(self, peer_id: int) -> None:
         """Called by the network when a connection to ``peer_id`` is established."""

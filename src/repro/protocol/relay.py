@@ -1245,6 +1245,19 @@ class HeadersFirstRelay(FloodRelay):
         self._fill_body_window()
 
 
+#: Wire commands through which a relay strategy *gives* inventory to peers —
+#: announcements (INV, CMPCTBLOCK, HEADERS) and payload deliveries (TX, BLOCK,
+#: BLOCKTXN).  Every concrete strategy's outbound relay traffic is a subset of
+#: this set; requests (GETDATA, GETHEADERS, GETBLOCKTXN) and the
+#: handshake/keep-alive plane are deliberately excluded.  The adversary plane
+#: (:mod:`repro.protocol.adversary`) keys its byzantine drop rules on this
+#: vocabulary, which is what makes the behaviours strategy-agnostic: a silent
+#: node under *any* of the five strategies stops giving and keeps taking.
+RELAY_COMMANDS = frozenset(
+    {"inv", "tx", "block", "cmpctblock", "blocktxn", "headers"}
+)
+
+
 #: Relay strategies selectable by name (``NodeConfig.relay_strategy``).
 RELAY_STRATEGIES: dict[str, type[RelayStrategy]] = {
     FloodRelay.name: FloodRelay,

@@ -21,6 +21,20 @@ connections down, and rejoining nodes are re-clustered and re-connected by the
 scenario's policy.  Churn does not start on its own — call
 :meth:`Scenario.start_churn` once the measurement phase begins, optionally
 sparing a set of nodes (e.g. measuring nodes) from the churn cycle.
+
+Composed attack scenarios
+-------------------------
+
+An :class:`AttackSpec` names an adversary composition and
+:func:`install_attack` applies it to a built scenario: silent byzantine
+peers scattered at random, captured cluster representatives (the PR-2
+``representative_of`` role — the high-value target the paper never
+stress-tests), delay injectors, or an eclipse ring of selective-relay nodes
+placed latency-nearest to a victim (composed with churn by the attacks
+experiment, so the overlay is being repaired while it is being attacked).
+Adversary *selection* draws only from the ``"adversary-selection"`` named
+stream and behaviours only from ``"adversary-behavior"``, so attack-off runs
+stay byte-identical to builds that predate the adversary plane.
 """
 
 from __future__ import annotations
@@ -46,16 +60,199 @@ from repro.workloads.network_gen import (
 #: Protocol names accepted by :func:`build_policy` / :func:`build_scenario`.
 POLICY_NAMES = ("bitcoin", "lbc", "bcbpt")
 
+#: Adversary compositions accepted by :class:`AttackSpec` /
+#: :func:`install_attack`.  ``"none"`` is the honest baseline cell;
+#: ``"selfish"`` installs no relay behaviour here (the withholding filter is
+#: wired by :class:`~repro.protocol.adversary.SelfishMiner`, which needs the
+#: experiment's mining process).
+ATTACK_KINDS = ("none", "byzantine", "representatives", "delay", "eclipse", "selfish")
+
 __all__ = [
+    "ATTACK_KINDS",
     "POLICY_NAMES",
     "RELAY_NAMES",
+    "AttackSpec",
     "ChurnSchedule",
     "Scenario",
     "build_policy",
     "build_scenario",
+    "install_attack",
+    "validate_attack_kind",
     "validate_policy_name",
     "validate_relay_name",
 ]
+
+
+def validate_attack_kind(kind: str) -> str:
+    """Check an attack kind against :data:`ATTACK_KINDS` and return it.
+
+    Raises:
+        ValueError: for an unknown attack kind.
+    """
+    if kind not in ATTACK_KINDS:
+        raise ValueError(f"unknown attack {kind!r}; expected one of {ATTACK_KINDS}")
+    return kind
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """A picklable adversary composition for one scenario.
+
+    Attributes:
+        kind: one of :data:`ATTACK_KINDS`.
+        fraction: share of the node population the adversary controls
+            (``byzantine``/``delay``/``eclipse``; also the random-control
+            size for ``representatives`` on non-clustered overlays).
+        extra_delay_s: fixed extra forwarding delay of a ``delay`` adversary.
+        delay_jitter_s: width of the uniform extra delay on top of it.
+        hashpower: the selfish miner's hash-power share α (``selfish`` only).
+    """
+
+    kind: str = "none"
+    fraction: float = 0.2
+    extra_delay_s: float = 0.25
+    delay_jitter_s: float = 0.25
+    hashpower: float = 0.35
+
+    def __post_init__(self) -> None:
+        validate_attack_kind(self.kind)
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {self.fraction}")
+        if self.extra_delay_s < 0:
+            raise ValueError(f"extra_delay_s cannot be negative, got {self.extra_delay_s}")
+        if self.delay_jitter_s < 0:
+            raise ValueError(
+                f"delay_jitter_s cannot be negative, got {self.delay_jitter_s}"
+            )
+        if not 0.0 < self.hashpower < 1.0:
+            raise ValueError(f"hashpower must be in (0, 1), got {self.hashpower}")
+
+    @property
+    def needs_churn(self) -> bool:
+        """Whether this composition runs on a dynamic-membership scenario."""
+        return self.kind == "eclipse"
+
+    @property
+    def mines_selfishly(self) -> bool:
+        """Whether the experiment must wire a selfish miner for this spec."""
+        return self.kind == "selfish"
+
+
+def install_attack(
+    scenario: "Scenario",
+    spec: AttackSpec,
+    *,
+    victim: Optional[int] = None,
+    protected: Iterable[int] = (),
+) -> tuple[int, ...]:
+    """Install the spec's byzantine behaviours on a built scenario.
+
+    Selection rules per kind:
+
+    * ``byzantine`` — a ``fraction`` of the population, drawn uniformly from
+      the ``"adversary-selection"`` stream, each made
+      :class:`~repro.protocol.adversary.SilentByzantine`.
+    * ``representatives`` — every cluster representative (the maintainer's
+      :meth:`~repro.core.maintenance.ChurnMaintainer.representative_of` role
+      when churn is wired, the cluster founder otherwise) turns silent.  On
+      the non-clustered vanilla overlay there are no representatives, so an
+      equal-``fraction`` random set stands in as the fair control cell.
+    * ``delay`` — a random ``fraction`` becomes
+      :class:`~repro.protocol.adversary.DelayByzantine`, adding
+      ``extra_delay_s`` plus uniform ``delay_jitter_s`` to every relayed
+      message (jitter drawn from ``"adversary-behavior"``).
+    * ``eclipse`` — the ``fraction`` of nodes latency-nearest to ``victim``
+      relay honestly to everyone *except* the victim
+      (:class:`~repro.protocol.adversary.SelectiveByzantine`) — the
+      concentrated-near-the-target placement the paper warns about.
+    * ``none`` / ``selfish`` — no relay behaviours installed here.
+
+    Args:
+        scenario: the built scenario to corrupt.
+        spec: the adversary composition.
+        victim: the eclipse target (required for ``kind="eclipse"``).
+        protected: node ids that must stay honest (e.g. the victim itself,
+            the observation plane's reference node).
+
+    Returns:
+        The corrupted node ids, sorted.
+    """
+    from repro.protocol.adversary import (
+        DelayByzantine,
+        SelectiveByzantine,
+        SilentByzantine,
+    )
+
+    if spec.kind in ("none", "selfish"):
+        return ()
+    simulated = scenario.network
+    network = simulated.network
+    shielded = set(protected)
+    if victim is not None:
+        shielded.add(victim)
+    candidates = [n for n in simulated.node_ids() if n not in shielded]
+    if not candidates:
+        raise ValueError("no candidate nodes left to corrupt")
+    count = max(1, int(spec.fraction * simulated.node_count))
+    count = min(count, len(candidates))
+
+    if spec.kind == "eclipse":
+        if victim is None:
+            raise ValueError("an eclipse attack needs a victim node id")
+        candidates.sort(key=lambda peer: network.base_rtt(victim, peer))
+        chosen = candidates[:count]
+        for node_id in chosen:
+            network.install_behavior(node_id, SelectiveByzantine({victim}))
+        return tuple(sorted(chosen))
+
+    if spec.kind == "representatives":
+        representatives = _cluster_representatives(scenario)
+        chosen = sorted(rep for rep in representatives if rep not in shielded)
+        if not chosen:
+            # Non-clustered control: an equally-sized random capture.
+            chosen = _draw_nodes(simulated, candidates, count)
+        for node_id in chosen:
+            network.install_behavior(node_id, SilentByzantine())
+        return tuple(chosen)
+
+    chosen = _draw_nodes(simulated, candidates, count)
+    if spec.kind == "byzantine":
+        for node_id in chosen:
+            network.install_behavior(node_id, SilentByzantine())
+    else:  # "delay"
+        rng = (
+            simulated.simulator.random.stream("adversary-behavior")
+            if spec.delay_jitter_s > 0
+            else None
+        )
+        for node_id in chosen:
+            network.install_behavior(
+                node_id,
+                DelayByzantine(
+                    spec.extra_delay_s, jitter_s=spec.delay_jitter_s, rng=rng
+                ),
+            )
+    return tuple(chosen)
+
+
+def _draw_nodes(
+    simulated: SimulatedNetwork, candidates: list[int], count: int
+) -> list[int]:
+    """Draw ``count`` distinct nodes from the ``"adversary-selection"`` stream."""
+    rng = simulated.simulator.random.stream("adversary-selection")
+    indexes = rng.choice(len(candidates), size=count, replace=False)
+    return sorted(candidates[int(i)] for i in indexes)
+
+
+def _cluster_representatives(scenario: "Scenario") -> list[int]:
+    """One representative per cluster, in cluster-id order."""
+    representatives: list[int] = []
+    for cluster in scenario.policy.clusters.clusters():
+        rep = None
+        if scenario.maintainer is not None:
+            rep = scenario.maintainer.representative_of(cluster.cluster_id)
+        representatives.append(rep if rep is not None else cluster.founder)
+    return representatives
 
 
 def validate_policy_name(name: str) -> str:

@@ -195,7 +195,20 @@ class TestNewlyParallelJobs:
         parallel = run_experiment("overhead", self.CFG.with_overrides(workers=2)).payload
         assert serial == parallel
 
+    #: Small dynamic-adversary sweep: enough cells to exercise the attack
+    #: grid without running the full five-attack default in a unit test.
+    ATTACK_OPTIONS = {
+        "attacks": ("byzantine",),
+        "protocols": ("bitcoin", "bcbpt"),
+        "attack_blocks": 1,
+        "attack_txs": 2,
+    }
+
     def test_attacks_worker_invariant(self):
-        serial = run_experiment("attacks", self.CFG.with_overrides(workers=1)).payload
-        parallel = run_experiment("attacks", self.CFG.with_overrides(workers=2)).payload
+        serial = run_experiment(
+            "attacks", self.CFG.with_overrides(workers=1), dict(self.ATTACK_OPTIONS)
+        ).payload
+        parallel = run_experiment(
+            "attacks", self.CFG.with_overrides(workers=2), dict(self.ATTACK_OPTIONS)
+        ).payload
         assert serial == parallel

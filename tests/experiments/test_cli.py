@@ -28,7 +28,11 @@ TINY_ARGS = {
     "overhead": [
         "--nodes", "20", "--runs", "1", "--seeds", "3", "--measuring-nodes", "1",
     ],
-    "attacks": ["--nodes", "40", "--runs", "1", "--seeds", "3", "--measuring-nodes", "1"],
+    "attacks": [
+        "--nodes", "40", "--runs", "1", "--seeds", "3", "--measuring-nodes", "1",
+        "--attacks", "byzantine", "selfish", "--protocols", "bitcoin", "bcbpt",
+        "--attack-blocks", "1", "--attack-txs", "2",
+    ],
     "doublespend": [
         "--nodes", "40", "--runs", "1", "--seeds", "3", "--measuring-nodes", "1",
         "--races", "1", "--horizon", "0.5",
